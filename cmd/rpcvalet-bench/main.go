@@ -1,0 +1,79 @@
+// Command rpcvalet-bench regenerates the paper's tables and figures from the
+// reproduction's models and prints the measured data alongside pass/fail
+// checks of the paper's headline claims.
+//
+// Usage:
+//
+//	rpcvalet-bench [-fig 7a] [-quick] [-format text|csv|json] [-seed N]
+//
+// Without -fig it regenerates every registered figure in order. EXPERIMENTS.md
+// is produced from this command's output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rpcvalet/internal/core"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "", "figure to regenerate (e.g. 2a, 7c, table1); empty = all")
+		quick  = flag.Bool("quick", false, "use small sample counts (noisier, much faster)")
+		format = flag.String("format", "text", "output format: text, csv, or json")
+		seed   = flag.Uint64("seed", 42, "experiment seed")
+		points = flag.Int("points", 0, "points per curve (0 = scale default)")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	if *quick {
+		opts = core.QuickOptions()
+	}
+	opts.Seed = *seed
+	if *points > 0 {
+		opts.Points = *points
+	}
+
+	ids := core.FigureIDs
+	if *fig != "" {
+		ids = strings.Split(*fig, ",")
+	}
+	exit := 0
+	for _, id := range ids {
+		gen, ok := core.Figures[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rpcvalet-bench: unknown figure %q (known: %s)\n",
+				id, strings.Join(core.FigureIDs, ", "))
+			os.Exit(2)
+		}
+		start := time.Now()
+		f, err := gen(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-bench: figure %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s — %s (%.1fs)\n\n", f.ID, f.Title, time.Since(start).Seconds())
+		for _, tbl := range f.Tables {
+			if err := tbl.Format(os.Stdout, *format); err != nil {
+				fmt.Fprintf(os.Stderr, "rpcvalet-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		for _, c := range f.Claims {
+			fmt.Println(c)
+			if !c.Ok {
+				exit = 3
+			}
+		}
+		if len(f.Claims) > 0 {
+			fmt.Println()
+		}
+	}
+	os.Exit(exit)
+}

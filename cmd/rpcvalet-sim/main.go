@@ -1,0 +1,140 @@
+// Command rpcvalet-sim runs a single full-machine simulation and prints the
+// measured result in detail: latency percentiles (per request class), the
+// derived SLO, throughput, and per-core/backend utilization.
+//
+// Usage:
+//
+//	rpcvalet-sim -mode 1x16 -workload herd -rate 10 [-measure 50000]
+//	             [-threshold 2] [-seed 1] [-format text|json]
+//
+// Modes: 1x16 (RPCValet), 4x4, 16x1 (RSS baseline), sw (MCS software queue).
+// Workloads: herd, masstree, fixed, uniform, exp, gev.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"rpcvalet"
+	"rpcvalet/internal/report"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "1x16", "load-balancing mode: 1x16, 4x4, 16x1, sw")
+		wlName    = flag.String("workload", "herd", "workload: herd, masstree, fixed, uniform, exp, gev")
+		rate      = flag.Float64("rate", 10, "offered load in MRPS")
+		warmup    = flag.Int("warmup", 5000, "completions discarded before measuring")
+		measure   = flag.Int("measure", 50000, "completions measured")
+		threshold = flag.Int("threshold", 2, "outstanding requests per core")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		format    = flag.String("format", "text", "output format: text or json")
+	)
+	flag.Parse()
+
+	params := rpcvalet.DefaultParams()
+	switch *mode {
+	case "1x16":
+		params.Mode = rpcvalet.ModeSingleQueue
+	case "4x4":
+		params.Mode = rpcvalet.ModeGrouped
+	case "16x1":
+		params.Mode = rpcvalet.ModePartitioned
+	case "sw":
+		params.Mode = rpcvalet.ModeSoftware
+	default:
+		fmt.Fprintf(os.Stderr, "rpcvalet-sim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	params.Threshold = *threshold
+
+	var wl rpcvalet.Profile
+	switch *wlName {
+	case "herd":
+		wl = rpcvalet.HERD()
+	case "masstree":
+		wl = rpcvalet.Masstree()
+	default:
+		var err error
+		wl, err = rpcvalet.Synthetic(*wlName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	res, err := rpcvalet.Run(rpcvalet.Config{
+		Params:   params,
+		Workload: wl,
+		RateMRPS: *rate,
+		Warmup:   *warmup,
+		Measure:  *measure,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s  workload=%s  offered=%.2f MRPS  seed=%d\n\n",
+		res.Mode, res.Workload, res.RateMRPS, res.Seed)
+
+	sum := report.NewTable("measurement", "metric", "value")
+	sum.AddRowf("throughput (MRPS)", res.ThroughputMRPS)
+	sum.AddRowf("mean service S̄ (ns)", res.ServiceMeanNanos)
+	sum.AddRowf("SLO (ns)", res.SLONanos)
+	sum.AddRowf("meets SLO", res.MeetsSLO)
+	sum.AddRowf("completions", res.Completed)
+	sum.AddRowf("max queue depth", res.DispatcherMaxDepth)
+	sum.AddRowf("blocked arrivals", res.BlockedArrivals)
+	sum.AddRowf("reply stalls", res.ReplyStalls)
+	sum.AddRowf("timed out", res.TimedOut)
+	if err := sum.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+
+	lat := report.NewTable("latency (ns)", "class", "count", "mean", "p50", "p99", "p99.9", "max")
+	lat.AddRowf("measured", res.Latency.Count, res.Latency.Mean, res.Latency.P50,
+		res.Latency.P99, res.Latency.P999, res.Latency.Max)
+	classes := make([]string, 0, len(res.ClassLatency))
+	for name := range res.ClassLatency {
+		classes = append(classes, name)
+	}
+	sort.Strings(classes)
+	for _, name := range classes {
+		s := res.ClassLatency[name]
+		lat.AddRowf(name, s.Count, s.Mean, s.P50, s.P99, s.P999, s.Max)
+	}
+	if err := lat.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println()
+
+	util := report.NewTable("utilization", "unit", "busy fraction")
+	for i, u := range res.CoreUtilization {
+		util.AddRowf(fmt.Sprintf("core %d", i), u)
+	}
+	for i, u := range res.BackendUtilization {
+		util.AddRowf(fmt.Sprintf("backend %d", i), u)
+	}
+	if err := util.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

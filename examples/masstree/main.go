@@ -1,0 +1,55 @@
+// Masstree scenario: reproduce the paper's scan-interference result
+// (Fig 7b). 99% of requests are ~1.25µs gets with a strict 12.5µs tail SLO;
+// 1% are 60–120µs ordered scans that occupy cores for hundreds of
+// get-lengths. Static partitioning (16×1) traps gets behind scans; RPCValet's
+// occupancy-driven dispatch routes around busy cores.
+//
+//	go run ./examples/masstree
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rpcvalet"
+)
+
+func main() {
+	wl := rpcvalet.Masstree()
+	const rate = 2 // MRPS — the paper's observation point: 16x1 fails even here
+
+	fmt.Println("Masstree: 99% gets (mean 1.25µs) + 1% scans (60-120µs)")
+	fmt.Printf("offered load %.0f MRPS, SLO on gets: 12.5µs\n\n", float64(rate))
+	fmt.Printf("%-20s %12s %12s %12s %8s\n", "mode", "get p50(µs)", "get p99(µs)", "scan p50(µs)", "SLO?")
+
+	for _, m := range []struct {
+		name string
+		mode rpcvalet.Mode
+	}{
+		{"16x1 (RSS)", rpcvalet.ModePartitioned},
+		{"4x4 (grouped)", rpcvalet.ModeGrouped},
+		{"1x16 (RPCValet)", rpcvalet.ModeSingleQueue},
+	} {
+		p := rpcvalet.DefaultParams()
+		p.Mode = m.mode
+		res, err := rpcvalet.Run(rpcvalet.Config{
+			Params:   p,
+			Workload: wl,
+			RateMRPS: rate,
+			Warmup:   3000,
+			Measure:  30000,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		get := res.ClassLatency["get"]
+		scan := res.ClassLatency["scan"]
+		fmt.Printf("%-20s %12.2f %12.2f %12.1f %8v\n",
+			m.name, get.P50/1000, get.P99/1000, scan.P50/1000, res.MeetsSLO)
+	}
+
+	fmt.Println("\nExpected shape (paper Fig 7b): 16x1 violates the SLO even at")
+	fmt.Println("this low load; RPCValet keeps the get tail two orders of")
+	fmt.Println("magnitude below it by steering gets away from scan-occupied cores.")
+}

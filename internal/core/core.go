@@ -1,0 +1,284 @@
+// Package core is the experiment harness of the reproduction: it drives the
+// machine model (internal/machine) and the queueing models
+// (internal/queueing) through the paper's evaluation (§2.2, §6), producing
+// the data behind every figure as report tables plus pass/fail checks of the
+// paper's headline claims.
+//
+// Each figure has a generator registered in Figures; cmd/rpcvalet-bench and
+// the repository's bench_test.go both call into this package, so the CLI,
+// the benchmarks, and EXPERIMENTS.md all describe the same code paths.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/report"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/workload"
+)
+
+// Options scales the experiments: full-size runs for figure regeneration,
+// quick runs for the benchmark suite and smoke tests.
+type Options struct {
+	Warmup    int // machine-run completions discarded
+	Measure   int // machine-run completions measured
+	QGen      int // queueing-model requests measured per point
+	Points    int // points per latency-throughput curve
+	KneeIters int // bisection steps refining each curve's SLO knee
+	Seed      uint64
+	Workers   int // concurrent simulations (each is single-threaded); 0 = 4
+}
+
+// DefaultOptions sizes runs for figure regeneration (seconds per figure).
+func DefaultOptions() Options {
+	return Options{Warmup: 5000, Measure: 50000, QGen: 100000, Points: 10, KneeIters: 5, Seed: 42, Workers: 4}
+}
+
+// QuickOptions sizes runs for benchmarks and smoke tests.
+func QuickOptions() Options {
+	return Options{Warmup: 1000, Measure: 10000, QGen: 20000, Points: 6, KneeIters: 3, Seed: 42, Workers: 4}
+}
+
+// Claim is one checkable statement from the paper, with the measured
+// counterpart from this reproduction.
+type Claim struct {
+	Name     string // what is being checked
+	Paper    string // what the paper reports
+	Measured string // what this reproduction measured
+	Ok       bool   // whether the measured value matches the claim's shape
+}
+
+func (c Claim) String() string {
+	status := "OK "
+	if !c.Ok {
+		status = "MISS"
+	}
+	return fmt.Sprintf("[%s] %s: paper=%s measured=%s", status, c.Name, c.Paper, c.Measured)
+}
+
+// Figure is the reproduced data for one paper figure or table.
+type Figure struct {
+	ID     string
+	Title  string
+	Tables []*report.Table
+	Claims []Claim
+}
+
+// CurvePoint is one measured point of a latency-throughput curve.
+type CurvePoint struct {
+	RateMRPS       float64
+	ThroughputMRPS float64
+	P50, P99, Mean float64 // ns
+	SLONanos       float64
+	MeetsSLO       bool
+	ServiceMean    float64 // ns
+}
+
+// Curve is a labeled series of points for one configuration.
+type Curve struct {
+	Label  string
+	Points []CurvePoint
+	// Knee, if non-nil, is a bisection-refined point at the highest
+	// offered rate that still meets the SLO (see RefineKnee). It sharpens
+	// ThroughputUnderSLO beyond the coarse grid's resolution.
+	Knee *CurvePoint
+}
+
+// ThroughputUnderSLO returns the best throughput among points meeting their
+// SLO (including the refined knee, when present), or 0 if none do.
+func (c Curve) ThroughputUnderSLO() float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if p.MeetsSLO && p.ThroughputMRPS > best {
+			best = p.ThroughputMRPS
+		}
+	}
+	if c.Knee != nil && c.Knee.MeetsSLO && c.Knee.ThroughputMRPS > best {
+		best = c.Knee.ThroughputMRPS
+	}
+	return best
+}
+
+// RefineKnee bisects between the curve's last SLO-meeting grid rate and the
+// first violating one, running `iters` extra simulations to localize the
+// knee. The coarse grid bounds throughput-under-SLO to one grid step; the
+// paper's 1.1–1.4× mode ratios need finer resolution than a 10-point grid
+// provides. The refined point is stored on the returned curve.
+func RefineKnee(base machine.Config, c Curve, iters, workers int) (Curve, error) {
+	lastOK, firstBad := -1, -1
+	for i, p := range c.Points {
+		if p.MeetsSLO {
+			lastOK = i
+		} else if lastOK == i-1 && lastOK >= 0 && firstBad == -1 {
+			firstBad = i
+		}
+	}
+	if lastOK == -1 || firstBad == -1 {
+		// Nothing to refine: either no point meets the SLO or the whole
+		// grid does (the knee lies beyond the grid).
+		return c, nil
+	}
+	lo, hi := c.Points[lastOK].RateMRPS, c.Points[firstBad].RateMRPS
+	best := c.Points[lastOK]
+	for it := 0; it < iters; it++ {
+		mid := (lo + hi) / 2
+		pts, err := MachineSweep(base, []float64{mid}, c.Label+"-knee", workers)
+		if err != nil {
+			return c, err
+		}
+		p := pts.Points[0]
+		if p.MeetsSLO {
+			best = p
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	c.Knee = &best
+	return c, nil
+}
+
+// MaxTailRatioVs returns the largest p99(other)/p99(c) over point pairs at
+// equal offered rate where both systems still meet their SLO — the paper's
+// "up to N× lower tail latency before saturation" metric.
+func (c Curve) MaxTailRatioVs(other Curve) float64 {
+	ratio := 0.0
+	n := len(c.Points)
+	if len(other.Points) < n {
+		n = len(other.Points)
+	}
+	for i := 0; i < n; i++ {
+		a, b := c.Points[i], other.Points[i]
+		if a.RateMRPS != b.RateMRPS || !a.MeetsSLO {
+			continue
+		}
+		if a.P99 > 0 && b.P99/a.P99 > ratio {
+			ratio = b.P99 / a.P99
+		}
+	}
+	return ratio
+}
+
+// CapacityMRPS estimates the machine's saturation throughput for a workload:
+// cores / (mean handler time + fixed per-request core overhead).
+func CapacityMRPS(p machine.Params, wl workload.Profile) float64 {
+	return float64(p.Cores) / (wl.MeanService() + p.CoreOverheadNanos()) * 1000
+}
+
+// RateGrid builds n offered-load points spanning lo..hi fractions of the
+// estimated capacity.
+func RateGrid(capacity float64, lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{capacity * hi}
+	}
+	rates := make([]float64, n)
+	for i := range rates {
+		f := lo + (hi-lo)*float64(i)/float64(n-1)
+		rates[i] = capacity * f
+	}
+	return rates
+}
+
+// GeometricRateGrid spaces n points geometrically between lo and hi
+// fractions of capacity — denser at low loads, which resolves the knee of a
+// system that saturates far below capacity (the software single queue).
+func GeometricRateGrid(capacity float64, lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{capacity * hi}
+	}
+	rates := make([]float64, n)
+	for i := range rates {
+		f := lo * math.Pow(hi/lo, float64(i)/float64(n-1))
+		rates[i] = capacity * f
+	}
+	return rates
+}
+
+// MachineSweep runs the machine at every rate (concurrently — each run is an
+// independent, single-threaded, deterministic simulation) and returns the
+// curve in rate order.
+func MachineSweep(base machine.Config, rates []float64, label string, workers int) (Curve, error) {
+	if workers <= 0 {
+		workers = 4
+	}
+	points := make([]CurvePoint, len(rates))
+	errs := make([]error, len(rates))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, rate := range rates {
+		i, rate := i, rate
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cfg := base
+			cfg.RateMRPS = rate
+			cfg.Seed = base.Seed + uint64(i)*1_000_003
+			if cfg.MaxSimTime == 0 {
+				// Generous cap: ten times the virtual time the run
+				// needs at its actual completion rate — the offered
+				// rate below saturation, the capacity above it.
+				est := CapacityMRPS(cfg.Params, cfg.Workload)
+				if rate < est {
+					est = rate
+				}
+				need := float64(cfg.Warmup+cfg.Measure) / est * 1000 // ns
+				cfg.MaxSimTime = sim.FromNanos(need * 10)
+			}
+			res, err := machine.Run(cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("sweep %s at %.2f MRPS: %w", label, rate, err)
+				return
+			}
+			points[i] = CurvePoint{
+				RateMRPS:       rate,
+				ThroughputMRPS: res.ThroughputMRPS,
+				P50:            res.Latency.P50,
+				P99:            res.Latency.P99,
+				Mean:           res.Latency.Mean,
+				SLONanos:       res.SLONanos,
+				MeetsSLO:       res.MeetsSLO,
+				ServiceMean:    res.ServiceMeanNanos,
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Curve{}, err
+		}
+	}
+	return Curve{Label: label, Points: points}, nil
+}
+
+// ratioClaim builds a Claim comparing a measured ratio against an expected
+// band, formatting both for the report.
+func ratioClaim(name, paper string, measured, lo, hi float64) Claim {
+	return Claim{
+		Name:     name,
+		Paper:    paper,
+		Measured: fmt.Sprintf("%.2f×", measured),
+		Ok:       measured >= lo && measured <= hi,
+	}
+}
+
+// Generator produces one figure's data at the given scale.
+type Generator func(Options) (Figure, error)
+
+// Figures maps figure IDs ("2a", "7c", "table1", ...) to their generators.
+// The map is populated by the figure files' init functions.
+var Figures = map[string]Generator{}
+
+// FigureIDs lists the registered figures in presentation order.
+var FigureIDs = []string{"2a", "2b", "2c", "6", "7a", "7b", "7c", "8", "9", "table1"}
+
+func register(id string, g Generator) {
+	if _, dup := Figures[id]; dup {
+		panic(fmt.Sprintf("core: duplicate figure %q", id))
+	}
+	Figures[id] = g
+}

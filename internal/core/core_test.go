@@ -1,0 +1,193 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/workload"
+)
+
+// tinyOptions keeps unit tests fast; claim checks at this scale are noisy,
+// so tests here verify structure and the direction of effects, while
+// claim-level validation happens at QuickOptions scale in TestFigures.
+func tinyOptions() Options {
+	return Options{Warmup: 300, Measure: 4000, QGen: 8000, Points: 4, Seed: 7, Workers: 4}
+}
+
+func TestCapacityMRPS(t *testing.T) {
+	got := CapacityMRPS(machine.Defaults(), workload.HERD())
+	// 16 cores / (330 + 200) ns ≈ 30 MRPS.
+	if got < 28 || got < 0 || got > 33 {
+		t.Fatalf("capacity = %v MRPS, want ~30", got)
+	}
+}
+
+func TestRateGrid(t *testing.T) {
+	g := RateGrid(100, 0.1, 0.9, 5)
+	if len(g) != 5 || g[0] != 10 || g[4] != 90 {
+		t.Fatalf("grid = %v", g)
+	}
+	if mid := g[2]; mid != 50 {
+		t.Fatalf("grid midpoint = %v", mid)
+	}
+	if one := RateGrid(100, 0.1, 0.9, 1); len(one) != 1 || one[0] != 90 {
+		t.Fatalf("single-point grid = %v", one)
+	}
+}
+
+func TestCurveHelpers(t *testing.T) {
+	c := Curve{Points: []CurvePoint{
+		{RateMRPS: 1, ThroughputMRPS: 1, P99: 100, MeetsSLO: true},
+		{RateMRPS: 2, ThroughputMRPS: 2, P99: 200, MeetsSLO: true},
+		{RateMRPS: 3, ThroughputMRPS: 2.5, P99: 900, MeetsSLO: false},
+	}}
+	if got := c.ThroughputUnderSLO(); got != 2 {
+		t.Fatalf("thr under SLO = %v", got)
+	}
+	other := Curve{Points: []CurvePoint{
+		{RateMRPS: 1, P99: 400}, {RateMRPS: 2, P99: 500}, {RateMRPS: 3, P99: 1000},
+	}}
+	if got := c.MaxTailRatioVs(other); got != 4 {
+		t.Fatalf("max tail ratio = %v, want 4 (400/100)", got)
+	}
+	empty := Curve{}
+	if empty.ThroughputUnderSLO() != 0 || empty.MaxTailRatioVs(c) != 0 {
+		t.Fatal("empty curve helpers should return 0")
+	}
+}
+
+func TestSafeRatio(t *testing.T) {
+	if safeRatio(4, 2) != 2 || safeRatio(1, 0) != 0 {
+		t.Fatal("safeRatio wrong")
+	}
+}
+
+func TestMachineSweepDeterministic(t *testing.T) {
+	cfg := machineBase(tinyOptions(), workload.HERD(), machine.ModeSingleQueue)
+	rates := []float64{3, 9, 15}
+	a, err := MachineSweep(cfg, rates, "a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MachineSweep(cfg, rates, "b", 1) // different worker count
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across worker counts: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestMachineSweepPropagatesError(t *testing.T) {
+	cfg := machineBase(tinyOptions(), workload.HERD(), machine.ModeSingleQueue)
+	cfg.Params.Cores = 0
+	if _, err := MachineSweep(cfg, []float64{1}, "x", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	for _, id := range FigureIDs {
+		if _, ok := Figures[id]; !ok {
+			t.Errorf("figure %q in FigureIDs but not registered", id)
+		}
+	}
+	if len(Figures) != len(FigureIDs) {
+		t.Fatalf("registered %d figures, listed %d", len(Figures), len(FigureIDs))
+	}
+}
+
+func TestClaimString(t *testing.T) {
+	ok := Claim{Name: "n", Paper: "p", Measured: "m", Ok: true}
+	if !strings.Contains(ok.String(), "OK") {
+		t.Fatal("ok claim string")
+	}
+	bad := Claim{Name: "n", Paper: "p", Measured: "m"}
+	if !strings.Contains(bad.String(), "MISS") {
+		t.Fatal("miss claim string")
+	}
+}
+
+// TestFigureStructure runs the cheap figures end to end at tiny scale and
+// checks they produce tables with data. (Claims may be noisy at this scale;
+// structure must hold regardless.)
+func TestFigureStructure(t *testing.T) {
+	o := tinyOptions()
+	for _, id := range []string{"2a", "2b", "6", "table1", "ablation-outstanding", "ablation-rss"} {
+		fig, err := Figures[id](o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if fig.ID != id {
+			t.Errorf("%s: ID mismatch %q", id, fig.ID)
+		}
+		if len(fig.Tables) == 0 {
+			t.Errorf("%s: no tables", id)
+		}
+		for _, tbl := range fig.Tables {
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s: empty table %q", id, tbl.Title)
+			}
+		}
+	}
+}
+
+// TestFig9ModelComparison checks the Fig 9 machinery at small scale: the
+// machine curve must sit above (or near) the idealized model at every load,
+// never dramatically below it.
+func TestFig9ModelComparison(t *testing.T) {
+	o := tinyOptions()
+	o.Points = 3
+	fig, err := Figures["9"](o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 4 || len(fig.Claims) != 4 {
+		t.Fatalf("fig9 shape: %d tables %d claims", len(fig.Tables), len(fig.Claims))
+	}
+}
+
+func TestRefineKnee(t *testing.T) {
+	o := tinyOptions()
+	base := machineBase(o, workload.HERD(), machine.ModeSingleQueue)
+	cap := CapacityMRPS(base.Params, base.Workload)
+	coarse, err := MachineSweep(base, RateGrid(cap, 0.3, 1.05, 4), "knee", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := RefineKnee(base, coarse, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Knee == nil {
+		t.Skip("grid had no SLO crossing at tiny scale")
+	}
+	if !refined.Knee.MeetsSLO {
+		t.Fatal("refined knee violates SLO")
+	}
+	if refined.ThroughputUnderSLO() < coarse.ThroughputUnderSLO() {
+		t.Fatalf("refinement reduced throughput under SLO: %v -> %v",
+			coarse.ThroughputUnderSLO(), refined.ThroughputUnderSLO())
+	}
+}
+
+func TestRefineKneeNoCrossing(t *testing.T) {
+	// All points meet the SLO: nothing to refine, no error.
+	o := tinyOptions()
+	base := machineBase(o, workload.HERD(), machine.ModeSingleQueue)
+	cap := CapacityMRPS(base.Params, base.Workload)
+	coarse, err := MachineSweep(base, RateGrid(cap, 0.1, 0.4, 3), "low", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := RefineKnee(base, coarse, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Knee != nil {
+		t.Fatal("refinement invented a knee without a crossing")
+	}
+}

@@ -1,0 +1,624 @@
+package machine
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/dist"
+	"rpcvalet/internal/ni"
+	"rpcvalet/internal/noc"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/sonuma"
+	"rpcvalet/internal/stats"
+	"rpcvalet/internal/trace"
+	"rpcvalet/internal/workload"
+)
+
+// request tracks one RPC through the machine.
+type request struct {
+	id       uint64
+	src      sonuma.NodeID
+	pairSlot int // slot within the (src → us) slot set
+	slot     int // global receive-buffer slot index
+	class    int
+	svcNanos float64  // handler time, sampled at admission for determinism
+	arrive   sim.Time // message fully received at the NI (measurement start)
+}
+
+// core is one serving core's state.
+type core struct {
+	id       int
+	tile     noc.Coord
+	busy     bool
+	cq       []*request // private CQ: dispatched messages awaiting processing
+	head     int
+	busyTime sim.Duration // cumulative occupancy, for utilization reporting
+}
+
+func (c *core) cqPush(r *request) { c.cq = append(c.cq, r) }
+
+func (c *core) cqPop() (*request, bool) {
+	if c.head >= len(c.cq) {
+		return nil, false
+	}
+	r := c.cq[c.head]
+	c.cq[c.head] = nil
+	c.head++
+	if c.head > 256 && c.head*2 >= len(c.cq) {
+		n := copy(c.cq, c.cq[c.head:])
+		c.cq = c.cq[:n]
+		c.head = 0
+	}
+	return r, true
+}
+
+func (c *core) cqDepth() int { return len(c.cq) - c.head }
+
+// replyWaiter is a core stalled mid-completion on reply-send flow control.
+type replyWaiter struct {
+	c        *core
+	req      *request
+	svcStart sim.Time
+}
+
+// Machine is one instantiated simulation of the server. Create it with new
+// state per run; it is not reusable.
+type Machine struct {
+	p   Params
+	wl  workload.Profile
+	cfg Config
+	eng *sim.Engine
+
+	arrRNG, srcRNG, classRNG, svcRNG, rssRNG *rng.Source
+
+	cores       []*core
+	backends    []*sim.Server
+	backendTile []noc.Coord
+	dispatchers []*ni.Dispatcher
+	dispServer  []*sim.Server
+	dispTile    []noc.Coord
+	coreDisp    []int // core ID -> dispatcher index
+
+	recvBuf  *sonuma.ReceiveBuffer
+	replyBuf *sonuma.SendBuffer
+	inflight map[uint64]*request
+
+	freeSlots    [][]int      // per source node: free per-pair slots
+	pendingBySrc [][]*request // arrivals blocked on slot flow control
+
+	// Software single-queue state.
+	swQueue    []*request
+	swHead     int
+	swMaxDepth int
+	idleCores  []int
+	lock       *sim.Server
+
+	replyWaiters map[sonuma.NodeID][]replyWaiter
+
+	interarrival dist.Exponential
+	nextID       uint64
+
+	// Measurement.
+	completed          int
+	target             int
+	latency            stats.Sample // measured classes, ns
+	classLat           []stats.Sample
+	svcSample          stats.Sample // per-request core occupancy (S̄), ns
+	waitSample         stats.Sample // pre-service delay (reception → handler start), ns
+	measStart, measEnd sim.Time
+	measuring          bool
+	blockedArrivals    uint64
+	replyStalls        uint64
+	timedOut           bool
+}
+
+// Config describes one machine run.
+type Config struct {
+	Params   Params
+	Workload workload.Profile
+	RateMRPS float64 // offered arrival rate, millions of requests per second
+	Warmup   int     // completions discarded before measuring
+	Measure  int     // completions measured
+	Seed     uint64
+	// MaxSimTime aborts the run after this much virtual time (0 = none),
+	// a safety valve for overload points that crawl toward completion.
+	MaxSimTime sim.Duration
+	// Trace, when non-nil, receives per-request lifecycle events
+	// (arrive/dispatch/start/complete). It runs inline on the simulation
+	// path; use a bounded trace.Buffer for long runs.
+	Trace trace.Recorder
+}
+
+func (c Config) validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case !(c.RateMRPS > 0):
+		return fmt.Errorf("machine: rate %v MRPS must be positive", c.RateMRPS)
+	case c.Measure <= 0:
+		return fmt.Errorf("machine: Measure must be positive")
+	case c.Warmup < 0:
+		return fmt.Errorf("machine: negative warmup")
+	default:
+		return nil
+	}
+}
+
+// New wires up a machine for the given configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Params
+	root := rng.New(cfg.Seed)
+	m := &Machine{
+		p:            p,
+		wl:           cfg.Workload,
+		cfg:          cfg,
+		eng:          sim.New(),
+		arrRNG:       root.Split(),
+		srcRNG:       root.Split(),
+		classRNG:     root.Split(),
+		svcRNG:       root.Split(),
+		rssRNG:       root.Split(),
+		inflight:     make(map[uint64]*request),
+		replyWaiters: make(map[sonuma.NodeID][]replyWaiter),
+		target:       cfg.Warmup + cfg.Measure,
+		classLat:     make([]stats.Sample, len(cfg.Workload.Classes)),
+		interarrival: dist.Exponential{MeanValue: 1000 / cfg.RateMRPS}, // ns between arrivals
+	}
+
+	for i := 0; i < p.Cores; i++ {
+		m.cores = append(m.cores, &core{id: i, tile: p.Mesh.TileCoord(i)})
+	}
+	// Backends sit on the left mesh edge, one per group of rows.
+	for b := 0; b < p.Backends; b++ {
+		m.backends = append(m.backends, sim.NewServer(m.eng))
+		row := b * p.Mesh.Height / p.Backends
+		m.backendTile = append(m.backendTile, noc.Coord{X: 0, Y: row})
+	}
+
+	var err error
+	if m.recvBuf, err = sonuma.NewReceiveBuffer(p.Domain); err != nil {
+		return nil, err
+	}
+	if m.replyBuf, err = sonuma.NewSendBuffer(p.Domain); err != nil {
+		return nil, err
+	}
+	m.freeSlots = make([][]int, p.Domain.Nodes)
+	m.pendingBySrc = make([][]*request, p.Domain.Nodes)
+	for n := range m.freeSlots {
+		for s := 0; s < p.Domain.Slots; s++ {
+			m.freeSlots[n] = append(m.freeSlots[n], s)
+		}
+	}
+
+	if err := m.wireDispatchers(); err != nil {
+		return nil, err
+	}
+	m.lock = sim.NewServer(m.eng)
+	if p.Mode == ModeSoftware {
+		// Every core starts out idle, spinning on the shared queue.
+		for _, c := range m.cores {
+			m.idleCores = append(m.idleCores, c.id)
+		}
+	}
+	return m, nil
+}
+
+// wireDispatchers builds the dispatcher topology for the configured mode.
+func (m *Machine) wireDispatchers() error {
+	p := m.p
+	m.coreDisp = make([]int, p.Cores)
+	addDispatcher := func(cores []int, tile noc.Coord, threshold int) error {
+		policy := p.Policy
+		if policy == nil {
+			// Default to occupancy-feedback dispatch: idle cores first,
+			// rotating among equals. With the outstanding threshold at 2
+			// a blind arbiter would queue requests behind long-running
+			// RPCs (Masstree scans) while other cores sit idle. Each
+			// dispatcher needs its own instance because the policy
+			// carries rotation state.
+			policy = &ni.LeastOutstandingRR{}
+		}
+		d, err := ni.NewDispatcher(cores, threshold, policy)
+		if err != nil {
+			return err
+		}
+		idx := len(m.dispatchers)
+		m.dispatchers = append(m.dispatchers, d)
+		m.dispServer = append(m.dispServer, sim.NewServer(m.eng))
+		m.dispTile = append(m.dispTile, tile)
+		for _, c := range cores {
+			m.coreDisp[c] = idx
+		}
+		return nil
+	}
+	switch p.Mode {
+	case ModeSingleQueue:
+		all := make([]int, p.Cores)
+		for i := range all {
+			all[i] = i
+		}
+		return addDispatcher(all, m.backendTile[0], p.Threshold)
+	case ModeGrouped:
+		per := p.Cores / p.Backends
+		for b := 0; b < p.Backends; b++ {
+			group := make([]int, per)
+			for i := range group {
+				group[i] = b*per + i
+			}
+			if err := addDispatcher(group, m.backendTile[b], p.Threshold); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ModePartitioned:
+		// One logical dispatcher per core, living in the backend that
+		// receives the message; no outstanding limit (pure FIFO queue).
+		for c := 0; c < p.Cores; c++ {
+			b := c * p.Backends / p.Cores
+			if err := addDispatcher([]int{c}, m.backendTile[b], ni.Unlimited); err != nil {
+				return err
+			}
+		}
+		return nil
+	case ModeSoftware:
+		// No hardware dispatcher; cores share the in-memory queue.
+		return nil
+	}
+	return fmt.Errorf("machine: unhandled mode %v", p.Mode)
+}
+
+// record emits a lifecycle event to the configured tracer, if any.
+func (m *Machine) record(id uint64, phase trace.Phase, core int) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace.Record(trace.Event{ReqID: id, Phase: phase, At: m.eng.Now(), Core: core})
+	}
+}
+
+// ctrlBytes is the size of control messages (completion tokens, CQEs,
+// replenishes) crossing the mesh.
+const ctrlBytes = 16
+
+// Run executes the simulation until the target completion count (or
+// MaxSimTime) is reached and returns the measured Result.
+func (m *Machine) Run() (Result, error) {
+	if m.cfg.MaxSimTime > 0 {
+		m.eng.Schedule(m.cfg.MaxSimTime, func() {
+			m.timedOut = true
+			m.eng.Stop()
+		})
+	}
+	m.scheduleArrival()
+	m.eng.Run()
+	return m.result(), nil
+}
+
+func (m *Machine) scheduleArrival() {
+	gap := sim.FromNanos(m.interarrival.Sample(m.arrRNG))
+	m.eng.Schedule(gap, func() {
+		m.injectArrival()
+		m.scheduleArrival()
+	})
+}
+
+// injectArrival creates a new RPC from a random cluster node and admits it,
+// or parks it when the sender has no free message slot (end-to-end flow
+// control back-pressuring the traffic generator).
+func (m *Machine) injectArrival() {
+	src := sonuma.NodeID(m.srcRNG.IntN(m.p.Domain.Nodes))
+	class := m.wl.PickClass(m.classRNG)
+	req := &request{
+		id:       m.nextID,
+		src:      src,
+		class:    class,
+		svcNanos: m.wl.Classes[class].Service.Sample(m.svcRNG),
+	}
+	m.nextID++
+	m.inflight[req.id] = req
+	if len(m.freeSlots[src]) == 0 {
+		m.blockedArrivals++
+		m.pendingBySrc[src] = append(m.pendingBySrc[src], req)
+		return
+	}
+	m.admit(req)
+}
+
+// admit claims a receive slot and runs the message through an NI backend.
+// Slots are consumed FIFO, matching the ring the sender's send buffer keeps
+// (§4.2's per-destination head/tail pointers); this also spreads messages
+// evenly over the address-interleaved NI backends.
+func (m *Machine) admit(req *request) {
+	free := m.freeSlots[req.src]
+	req.pairSlot = free[0]
+	m.freeSlots[req.src] = free[1:]
+	req.slot = m.p.Domain.RecvSlotIndex(req.src, req.pairSlot)
+
+	b := req.slot % len(m.backends)
+	switch m.p.Domain.Classify(m.wl.RequestBytes) {
+	case sonuma.DeliveryInline:
+		m.ingest(req, b, m.wl.RequestBytes)
+	case sonuma.DeliveryRendezvous:
+		// Descriptor lands first — that is when the message is
+		// "received" and the latency clock starts. The NI then pulls
+		// the payload with a one-sided read costing a network round
+		// trip plus the payload's backend occupancy (§4.2).
+		m.backends[b].Submit(m.p.PacketProc, func() {
+			// The descriptor is a single-packet message occupying the
+			// receive slot; the pulled payload lands in an app buffer.
+			if done, err := m.recvBuf.OnPacket(req.slot, req.src, m.wl.RequestBytes, 1); err != nil || !done {
+				panic(fmt.Sprintf("machine: rendezvous descriptor: done=%v err=%v", done, err))
+			}
+			req.arrive = m.eng.Now()
+			m.record(req.id, trace.PhaseArrive, -1)
+			m.eng.Schedule(m.p.NetRTT, func() {
+				pkts := m.p.Domain.RendezvousReadPackets(m.wl.RequestBytes)
+				m.backends[b].Submit(sim.Duration(pkts)*m.p.PacketProc, func() {
+					m.eng.Schedule(m.p.MemWrite, func() {
+						m.routeCompletion(req, b)
+					})
+				})
+			})
+		})
+	}
+}
+
+// ingest charges the backend for writing the message's packets and, once the
+// last packet is in memory, marks the message received and routes its
+// completion token.
+func (m *Machine) ingest(req *request, b int, size int) {
+	pkts := m.p.Domain.Packets(size)
+	m.backends[b].Submit(sim.Duration(pkts)*m.p.PacketProc, func() {
+		for i := 0; i < pkts; i++ {
+			done, err := m.recvBuf.OnPacket(req.slot, req.src, size, pkts)
+			if err != nil {
+				panic(fmt.Sprintf("machine: receive protocol violation: %v", err))
+			}
+			if done != (i == pkts-1) {
+				panic("machine: receive counter out of sync")
+			}
+		}
+		m.eng.Schedule(m.p.MemWrite, func() {
+			req.arrive = m.eng.Now()
+			m.record(req.id, trace.PhaseArrive, -1)
+			m.routeCompletion(req, b)
+		})
+	})
+}
+
+// routeCompletion forwards a message-completion token from backend b to the
+// dispatch mechanism of the configured mode.
+func (m *Machine) routeCompletion(req *request, b int) {
+	if m.p.Mode == ModeSoftware {
+		// The NI appends directly to the shared in-memory queue.
+		wire := m.p.CQEDeliver + m.p.Mem.LLC(2, m.p.Mesh.HopLatency())
+		m.eng.Schedule(wire, func() { m.swEnqueue(req) })
+		return
+	}
+	di := m.dispatcherFor(req, b)
+	wire := m.p.Mesh.Latency(m.backendTile[b], m.dispTile[di], ctrlBytes) + m.p.DispatchExtra
+	m.eng.Schedule(wire, func() {
+		m.dispServer[di].Submit(m.p.DispatchCycle, func() {
+			msg := ni.Msg{Slot: req.slot, Src: req.src, Size: m.wl.RequestBytes, Tag: req.id}
+			if d, ok := m.dispatchers[di].Enqueue(msg); ok {
+				m.deliver(di, d)
+			}
+		})
+	})
+}
+
+// dispatcherFor picks the dispatcher index for a completion token.
+func (m *Machine) dispatcherFor(req *request, b int) int {
+	switch m.p.Mode {
+	case ModeSingleQueue:
+		return 0
+	case ModeGrouped:
+		return b
+	case ModePartitioned:
+		if m.p.RSSByFlow {
+			return ni.RSSQueue(uint64(req.src), m.p.Cores)
+		}
+		return m.rssRNG.IntN(m.p.Cores)
+	}
+	panic("machine: dispatcherFor in software mode")
+}
+
+// deliver carries a dispatch decision to the chosen core's private CQ.
+func (m *Machine) deliver(di int, d ni.Dispatch) {
+	req := m.inflight[d.Msg.Tag]
+	if req == nil {
+		panic(fmt.Sprintf("machine: dispatch of unknown request %d", d.Msg.Tag))
+	}
+	c := m.cores[d.Core]
+	m.record(req.id, trace.PhaseDispatch, d.Core)
+	wire := m.p.Mesh.Latency(m.dispTile[di], c.tile, ctrlBytes) + m.p.CQEDeliver
+	m.eng.Schedule(wire, func() {
+		c.cqPush(req)
+		if !c.busy {
+			// The core was spinning on its CQ; it notices after a
+			// fraction of a poll iteration.
+			m.begin(c, m.p.PollDetect)
+		}
+	})
+}
+
+// begin starts processing the head of the core's private CQ. pollDelay is
+// the CQ-detection cost: nonzero when the core was idle-polling, zero when
+// it rolls directly from the previous request (the threshold-2 case that
+// eliminates the execution bubble, §4.3).
+func (m *Machine) begin(c *core, pollDelay sim.Duration) {
+	req, ok := c.cqPop()
+	if !ok {
+		panic(fmt.Sprintf("machine: core %d began with empty CQ", c.id))
+	}
+	c.busy = true
+	svcStart := m.eng.Now().Add(pollDelay)
+	m.record(req.id, trace.PhaseStart, c.id)
+	occupied := pollDelay + m.p.BufRead + sim.FromNanos(req.svcNanos) +
+		m.p.LoopOverhead + m.p.SendPost + m.p.ReplenishPost
+	c.busyTime += occupied
+	m.eng.Schedule(occupied, func() { m.finish(c, req, svcStart) })
+}
+
+// finish runs when the core has executed the handler and posted the reply
+// send and replenish. The reply consumes a send slot toward the requester;
+// if none is free the core stalls (flow control) until a credit returns.
+func (m *Machine) finish(c *core, req *request, svcStart sim.Time) {
+	slot, ok := m.replyBuf.Acquire(req.src, req.id, m.wl.ReplyBytes)
+	if !ok {
+		m.replyStalls++
+		m.replyWaiters[req.src] = append(m.replyWaiters[req.src], replyWaiter{c, req, svcStart})
+		return
+	}
+	m.complete(c, req, svcStart, slot)
+}
+
+// complete finalizes a request: measurement, reply transmission, replenish
+// propagation, and moving the core onto its next unit of work.
+func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot int) {
+	now := m.eng.Now()
+	m.record(req.id, trace.PhaseComplete, c.id)
+
+	m.completed++
+	if m.completed == m.cfg.Warmup+1 {
+		m.measStart = now
+		m.measuring = true
+	}
+	if m.measuring {
+		if m.wl.Classes[req.class].Measured {
+			m.latency.Add(now.Sub(req.arrive).Nanos())
+		}
+		m.classLat[req.class].Add(now.Sub(req.arrive).Nanos())
+		m.svcSample.Add(now.Sub(svcStart).Nanos())
+		m.waitSample.Add(svcStart.Sub(req.arrive).Nanos())
+	}
+	if m.completed >= m.target {
+		m.measEnd = now
+		m.measuring = false
+		m.eng.Stop()
+		return
+	}
+
+	// Reply transmission through this core's row backend; the remote node
+	// consumes it and returns the send-slot credit a round trip later.
+	src := req.src
+	rb := c.id * len(m.backends) / len(m.cores)
+	rpkts := m.p.Domain.Packets(m.wl.ReplyBytes)
+	m.backends[rb].Submit(sim.Duration(rpkts)*m.p.PacketProc, func() {
+		m.eng.Schedule(m.p.NetRTT, func() {
+			if err := m.replyBuf.Release(src, replySlot); err != nil {
+				panic(fmt.Sprintf("machine: reply credit return: %v", err))
+			}
+			if ws := m.replyWaiters[src]; len(ws) > 0 {
+				w := ws[0]
+				m.replyWaiters[src] = ws[1:]
+				s, ok := m.replyBuf.Acquire(src, w.req.id, m.wl.ReplyBytes)
+				if !ok {
+					panic("machine: freed reply slot immediately unavailable")
+				}
+				m.complete(w.c, w.req, w.svcStart, s)
+			}
+		})
+	})
+
+	// Replenish: free the receive slot now; the sender regains the credit
+	// after the replenish message crosses the network.
+	if err := m.recvBuf.Free(req.slot); err != nil {
+		panic(fmt.Sprintf("machine: replenish: %v", err))
+	}
+	delete(m.inflight, req.id)
+	pairSlot := req.pairSlot
+	m.eng.Schedule(m.p.NetRTT/2, func() {
+		m.freeSlots[src] = append(m.freeSlots[src], pairSlot)
+		if pend := m.pendingBySrc[src]; len(pend) > 0 {
+			next := pend[0]
+			m.pendingBySrc[src] = pend[1:]
+			m.admit(next)
+		}
+	})
+
+	// Tell the dispatcher this core finished one request.
+	if m.p.Mode != ModeSoftware {
+		di := m.coreDisp[c.id]
+		wire := m.p.WQERead + m.p.Mesh.Latency(c.tile, m.dispTile[di], ctrlBytes) + m.p.DispatchExtra
+		m.eng.Schedule(wire, func() {
+			m.dispServer[di].Submit(m.p.DispatchCycle, func() {
+				if d, ok := m.dispatchers[di].Complete(c.id); ok {
+					m.deliver(di, d)
+				}
+			})
+		})
+	}
+
+	// The core rolls onto queued work, or goes idle.
+	c.busy = false
+	if c.cqDepth() > 0 {
+		m.begin(c, 0)
+	} else if m.p.Mode == ModeSoftware {
+		m.swIdle(c)
+	}
+}
+
+// --- Software single-queue (MCS) path -----------------------------------
+
+// swEnqueue appends a message to the shared in-memory queue and pairs it
+// with an idle core if one is waiting.
+func (m *Machine) swEnqueue(req *request) {
+	m.swQueue = append(m.swQueue, req)
+	if d := m.swDepth(); d > m.swMaxDepth {
+		m.swMaxDepth = d
+	}
+	m.swTryPair()
+}
+
+// swIdle registers a core as idle and hungry for work.
+func (m *Machine) swIdle(c *core) {
+	m.idleCores = append(m.idleCores, c.id)
+	m.swTryPair()
+}
+
+// swTryPair matches queued messages with idle cores. Each dequeue acquires
+// the MCS lock: lock acquisitions serialize through a single FIFO resource,
+// costing the uncontended latency when the lock is free and a cache-line
+// handoff when it is not — the contention that caps the software design's
+// throughput (§6.2).
+func (m *Machine) swTryPair() {
+	for m.swDepth() > 0 && len(m.idleCores) > 0 {
+		req := m.swPop()
+		coreID := m.idleCores[0]
+		m.idleCores = m.idleCores[1:]
+		c := m.cores[coreID]
+		c.busy = true // waiting on the lock counts as unavailable
+		cost := m.p.LockCrit
+		if m.lock.Delay() > 0 {
+			cost += m.p.LockHandoff
+		} else {
+			cost += m.p.LockUncontended
+		}
+		m.record(req.id, trace.PhaseDispatch, coreID)
+		m.lock.Submit(cost, func() {
+			c.cqPush(req)
+			c.busy = false
+			m.begin(c, 0)
+		})
+	}
+}
+
+func (m *Machine) swDepth() int { return len(m.swQueue) - m.swHead }
+
+func (m *Machine) swPop() *request {
+	r := m.swQueue[m.swHead]
+	m.swQueue[m.swHead] = nil
+	m.swHead++
+	if m.swHead > 1024 && m.swHead*2 >= len(m.swQueue) {
+		n := copy(m.swQueue, m.swQueue[m.swHead:])
+		m.swQueue = m.swQueue[:n]
+		m.swHead = 0
+	}
+	return r
+}

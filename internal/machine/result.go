@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/stats"
+)
+
+// Result is the measured outcome of one machine run.
+type Result struct {
+	Mode     Mode
+	Workload string
+	RateMRPS float64 // offered load
+	Seed     uint64
+
+	ThroughputMRPS float64       // measured completion rate over the window
+	Latency        stats.Summary // end-to-end latency of measured classes, ns
+	ClassLatency   map[string]stats.Summary
+	// Wait decomposes latency: the delay between a message's complete
+	// reception at the NI and the serving core starting its handler —
+	// dispatch plus queueing, the component load balancing controls.
+	Wait stats.Summary
+
+	ServiceMeanNanos float64 // measured S̄: mean per-request core occupancy
+	SLONanos         float64 // derived SLO (absolute, or factor × S̄)
+	MeetsSLO         bool
+
+	CoreUtilization    []float64
+	BackendUtilization []float64
+	DispatcherMaxDepth int // deepest shared-CQ (or software queue) observed
+
+	BlockedArrivals uint64 // arrivals parked by sender-side flow control
+	ReplyStalls     uint64 // completions stalled on reply-send credits
+	Completed       int
+	TimedOut        bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s @%.2fMRPS: thr=%.2fMRPS p99=%.0fns slo=%.0fns meets=%v",
+		r.Mode, r.Workload, r.RateMRPS, r.ThroughputMRPS, r.Latency.P99, r.SLONanos, r.MeetsSLO)
+}
+
+// result assembles the Result after the engine stops.
+func (m *Machine) result() Result {
+	r := Result{
+		Mode:         m.p.Mode,
+		Workload:     m.wl.Name,
+		RateMRPS:     m.cfg.RateMRPS,
+		Seed:         m.cfg.Seed,
+		Latency:      m.latency.Summarize(),
+		ClassLatency: make(map[string]stats.Summary, len(m.wl.Classes)),
+		Completed:    m.completed,
+		TimedOut:     m.timedOut,
+
+		ServiceMeanNanos: m.svcSample.Mean(),
+		Wait:             m.waitSample.Summarize(),
+		BlockedArrivals:  m.blockedArrivals,
+		ReplyStalls:      m.replyStalls,
+	}
+	for i, cl := range m.wl.Classes {
+		r.ClassLatency[cl.Name] = m.classLat[i].Summarize()
+	}
+
+	if m.measEnd > m.measStart {
+		measured := m.completed - m.cfg.Warmup
+		span := m.measEnd.Sub(m.measStart).Nanos()
+		r.ThroughputMRPS = float64(measured) / span * 1000
+	}
+
+	if m.wl.SLONanos > 0 {
+		r.SLONanos = m.wl.SLONanos
+	} else {
+		r.SLONanos = m.wl.SLOFactor * r.ServiceMeanNanos
+	}
+	r.MeetsSLO = !m.timedOut && m.latency.Count() > 0 && r.Latency.P99 <= r.SLONanos
+
+	now := m.eng.Now()
+	for _, c := range m.cores {
+		u := 0.0
+		if now > 0 {
+			u = float64(c.busyTime) / float64(now)
+		}
+		r.CoreUtilization = append(r.CoreUtilization, u)
+	}
+	for _, b := range m.backends {
+		r.BackendUtilization = append(r.BackendUtilization, b.Utilization())
+	}
+	for _, d := range m.dispatchers {
+		if d.MaxQueueDepth() > r.DispatcherMaxDepth {
+			r.DispatcherMaxDepth = d.MaxQueueDepth()
+		}
+	}
+	if m.swMaxDepth > r.DispatcherMaxDepth {
+		r.DispatcherMaxDepth = m.swMaxDepth
+	}
+	return r
+}
+
+// Run is the one-call entry point: build a Machine from cfg and run it.
+func Run(cfg Config) (Result, error) {
+	m, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run()
+}

@@ -1,0 +1,70 @@
+// Package mem is the first-order memory-hierarchy cost model for the
+// simulated server, parameterised after Table 1 of the paper: 3-cycle L1,
+// 6-cycle NUCA LLC (plus mesh distance to the bank), 50 ns DRAM, 64-byte
+// blocks at 2 GHz.
+//
+// The RPCValet design leans on the NI's "fast access to its local memory
+// hierarchy": receive buffers and queue-pair entries live in LLC/DRAM and the
+// NI reads/writes them coherently. This package supplies those access costs
+// to the NI and core models.
+package mem
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/sim"
+)
+
+// Hierarchy describes the chip's memory system costs.
+type Hierarchy struct {
+	FreqGHz    float64
+	L1Cycles   int     // L1 hit latency (tag+data)
+	LLCCycles  int     // LLC bank access, excluding NUCA routing
+	DRAMNanos  float64 // DRAM access latency
+	BlockBytes int     // cache block (and network MTU) size
+}
+
+// Default returns Table 1's memory parameters.
+func Default() Hierarchy {
+	return Hierarchy{FreqGHz: 2, L1Cycles: 3, LLCCycles: 6, DRAMNanos: 50, BlockBytes: 64}
+}
+
+func (h Hierarchy) cycles(n int) sim.Duration {
+	return sim.FromNanos(float64(n) / h.FreqGHz)
+}
+
+// L1 returns the L1 hit latency.
+func (h Hierarchy) L1() sim.Duration { return h.cycles(h.L1Cycles) }
+
+// LLC returns the latency of an LLC access whose bank is bankHops mesh hops
+// away, each hop costing hopLatency (taken from the NOC model so the two
+// stay consistent).
+func (h Hierarchy) LLC(bankHops int, hopLatency sim.Duration) sim.Duration {
+	return h.cycles(h.LLCCycles) + sim.Duration(bankHops)*hopLatency
+}
+
+// DRAM returns the DRAM access latency.
+func (h Hierarchy) DRAM() sim.Duration { return sim.FromNanos(h.DRAMNanos) }
+
+// Blocks returns how many cache blocks a payload of n bytes occupies. A
+// zero-byte payload still occupies one block (headers travel somewhere).
+func (h Hierarchy) Blocks(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return (n + h.BlockBytes - 1) / h.BlockBytes
+}
+
+// CacheLineTransfer returns the cost of moving one dirty cache line between
+// two cores' private caches via the coherence protocol — the dominant cost
+// of lock handoffs and shared-queue manipulation in the software
+// load-balancing baseline (§6.2). First order: an LLC directory access plus
+// the round trip between the two tiles.
+func (h Hierarchy) CacheLineTransfer(hops int, hopLatency sim.Duration) sim.Duration {
+	return h.cycles(h.LLCCycles) + 2*sim.Duration(hops)*hopLatency
+}
+
+func (h Hierarchy) String() string {
+	return fmt.Sprintf("mem{L1=%dcy LLC=%dcy DRAM=%gns block=%dB @%gGHz}",
+		h.L1Cycles, h.LLCCycles, h.DRAMNanos, h.BlockBytes, h.FreqGHz)
+}

@@ -1,0 +1,28 @@
+package ni
+
+// RSS implements receive-side-scaling-style static load distribution: a
+// stateless hash of a flow identifier selects one of n receive queues. This
+// is the paper's Model 16×1 baseline — "the only currently existing
+// NI-driven load distribution mechanism" — which spreads flows evenly but is
+// oblivious to instantaneous core load.
+
+// rssHash is a 64-bit finalizer (SplitMix64's mixing function), standing in
+// for the Toeplitz hash real NICs use. What matters for the model is that it
+// is deterministic per flow and spreads flows uniformly.
+func rssHash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// RSSQueue returns the queue (core) index in [0, n) for the given flow
+// identifier. It panics if n <= 0.
+func RSSQueue(flow uint64, n int) int {
+	if n <= 0 {
+		panic("ni: RSSQueue with non-positive queue count")
+	}
+	return int(rssHash(flow) % uint64(n))
+}

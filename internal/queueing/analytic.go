@@ -1,0 +1,86 @@
+package queueing
+
+import "math"
+
+// This file holds closed-form queueing-theory results used to validate the
+// discrete-event models. References: any standard queueing text (e.g.
+// Harchol-Balter, "Performance Modeling and Design of Computer Systems").
+
+// MM1MeanSojourn returns the mean time in system for an M/M/1 queue with
+// arrival rate lambda and service rate mu. It returns +Inf for an unstable
+// queue (lambda ≥ mu).
+func MM1MeanSojourn(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return 1 / (mu - lambda)
+}
+
+// MM1SojournQuantile returns the p-quantile of the sojourn time in an M/M/1
+// queue: the sojourn time is exponential with rate mu−lambda.
+func MM1SojournQuantile(lambda, mu, p float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / (mu - lambda)
+}
+
+// ErlangC returns the probability that an arriving job waits in an M/M/c
+// queue with c servers, arrival rate lambda, and per-server service rate mu.
+func ErlangC(c int, lambda, mu float64) float64 {
+	if lambda >= float64(c)*mu {
+		return 1
+	}
+	a := lambda / mu // offered load in Erlangs
+	rho := a / float64(c)
+	// Sum a^k/k! computed iteratively to avoid overflow.
+	term := 1.0
+	sum := 1.0
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(c) / (1 - rho)
+	return top / (sum + top)
+}
+
+// MMcMeanWait returns the mean queueing delay (excluding service) in an
+// M/M/c system.
+func MMcMeanWait(c int, lambda, mu float64) float64 {
+	if lambda >= float64(c)*mu {
+		return math.Inf(1)
+	}
+	return ErlangC(c, lambda, mu) / (float64(c)*mu - lambda)
+}
+
+// MMcMeanSojourn returns the mean time in system for an M/M/c queue.
+func MMcMeanSojourn(c int, lambda, mu float64) float64 {
+	return MMcMeanWait(c, lambda, mu) + 1/mu
+}
+
+// MMcWaitQuantile returns the p-quantile of the waiting time in an M/M/c
+// queue. The waiting time is 0 with probability 1−ErlangC and exponential
+// with rate cµ−λ otherwise.
+func MMcWaitQuantile(c int, lambda, mu, p float64) float64 {
+	pc := ErlangC(c, lambda, mu)
+	if 1-p >= pc {
+		return 0
+	}
+	return -math.Log((1-p)/pc) / (float64(c)*mu - lambda)
+}
+
+// MG1MeanWait returns the Pollaczek–Khinchine mean waiting time for an M/G/1
+// queue with arrival rate lambda, mean service es, and second moment es2.
+func MG1MeanWait(lambda, es, es2 float64) float64 {
+	rho := lambda * es
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return lambda * es2 / (2 * (1 - rho))
+}
+
+// MD1MeanWait returns the mean waiting time for an M/D/1 queue with
+// deterministic service time s.
+func MD1MeanWait(lambda, s float64) float64 {
+	return MG1MeanWait(lambda, s, s*s)
+}

@@ -1,0 +1,230 @@
+// Package queueing implements the theoretical queuing models the paper uses
+// to frame the load-balancing problem (§2.2) and to bound RPCValet's
+// performance (§6.3).
+//
+// A Model Q×U system has Q FIFO queues with U serving units each; incoming
+// requests follow a Poisson process and are assigned to a queue uniformly at
+// random (the paper's uni[0,Q-1] stage in Fig 1). Model 1×16 is the ideal
+// single-queue system; Model 16×1 is a fully partitioned system with no load
+// balancing.
+//
+// The discrete-event implementation runs on the deterministic engine in
+// internal/sim. Closed-form results for M/M/1, M/M/c, and M/G/1 are provided
+// for validating the simulator against textbook queueing theory.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"rpcvalet/internal/dist"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/stats"
+)
+
+// Config describes one queueing-model simulation.
+type Config struct {
+	Queues          int          // Q: number of FIFO input queues
+	ServersPerQueue int          // U: serving units per queue
+	Service         dist.Sampler // service time distribution, in ns
+	Load            float64      // offered load ρ = λ·E[S]/(Q·U), in (0,1)
+	Warmup          int          // requests discarded before measuring
+	Measure         int          // requests measured
+	Seed            uint64
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Queues <= 0 || c.ServersPerQueue <= 0:
+		return fmt.Errorf("queueing: invalid system %dx%d", c.Queues, c.ServersPerQueue)
+	case c.Service == nil:
+		return fmt.Errorf("queueing: nil service distribution")
+	case !(c.Load > 0) || c.Load >= 1.5:
+		return fmt.Errorf("queueing: load %v out of range (0, 1.5)", c.Load)
+	case c.Measure <= 0:
+		return fmt.Errorf("queueing: Measure must be positive")
+	default:
+		return nil
+	}
+}
+
+// Result reports the outcome of a queueing-model run. Latency is the sojourn
+// time (waiting + service); Wait is queueing delay only. Units match the
+// service distribution's (ns by convention).
+type Result struct {
+	Config     Config
+	Latency    stats.Summary
+	Wait       stats.Summary
+	Throughput float64 // completions per ns over the measurement window
+	MeanSvc    float64 // E[S] of the service distribution used
+}
+
+// station is one FIFO queue with U servers.
+type station struct {
+	idle int
+	fifo []sim.Time // arrival times of waiting requests
+	head int
+}
+
+func (st *station) push(t sim.Time) { st.fifo = append(st.fifo, t) }
+
+func (st *station) pop() (sim.Time, bool) {
+	if st.head >= len(st.fifo) {
+		return 0, false
+	}
+	v := st.fifo[st.head]
+	st.head++
+	// Compact occasionally so memory stays bounded.
+	if st.head > 1024 && st.head*2 >= len(st.fifo) {
+		n := copy(st.fifo, st.fifo[st.head:])
+		st.fifo = st.fifo[:n]
+		st.head = 0
+	}
+	return v, true
+}
+
+func (st *station) depth() int { return len(st.fifo) - st.head }
+
+// Run simulates the configured Q×U system and returns its Result. It panics
+// only on programmer error (invalid config is returned as an error).
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	meanSvc := cfg.Service.Mean()
+	if !(meanSvc > 0) || math.IsInf(meanSvc, 1) {
+		return Result{}, fmt.Errorf("queueing: service distribution %s has unusable mean %g", cfg.Service, meanSvc)
+	}
+	totalServers := cfg.Queues * cfg.ServersPerQueue
+	lambda := cfg.Load * float64(totalServers) / meanSvc // arrivals per ns
+
+	eng := sim.New()
+	root := rng.New(cfg.Seed)
+	arrivalRNG := root.Split()
+	routeRNG := root.Split()
+	svcRNG := root.Split()
+
+	stations := make([]*station, cfg.Queues)
+	for i := range stations {
+		stations[i] = &station{idle: cfg.ServersPerQueue}
+	}
+
+	var latency, wait stats.Sample
+	completed := 0
+	target := cfg.Warmup + cfg.Measure
+	var measStart, measEnd sim.Time
+	interarrival := dist.Exponential{MeanValue: 1 / lambda}
+
+	var startService func(st *station, arrived sim.Time)
+	startService = func(st *station, arrived sim.Time) {
+		st.idle--
+		began := eng.Now()
+		svc := sim.FromNanos(cfg.Service.Sample(svcRNG))
+		eng.Schedule(svc, func() {
+			completed++
+			if completed > cfg.Warmup && completed <= target {
+				if completed == cfg.Warmup+1 {
+					measStart = eng.Now()
+				}
+				latency.Add(eng.Now().Sub(arrived).Nanos())
+				wait.Add(began.Sub(arrived).Nanos())
+				if completed == target {
+					measEnd = eng.Now()
+					eng.Stop()
+				}
+			}
+			st.idle++
+			if next, ok := st.pop(); ok {
+				startService(st, next)
+			}
+		})
+	}
+
+	var arrive func()
+	arrive = func() {
+		st := stations[routeRNG.IntN(cfg.Queues)]
+		now := eng.Now()
+		if st.idle > 0 {
+			startService(st, now)
+		} else {
+			st.push(now)
+		}
+		eng.Schedule(sim.FromNanos(interarrival.Sample(arrivalRNG)), arrive)
+	}
+	eng.Schedule(sim.FromNanos(interarrival.Sample(arrivalRNG)), arrive)
+	eng.Run()
+
+	res := Result{
+		Config:  cfg,
+		Latency: latency.Summarize(),
+		Wait:    wait.Summarize(),
+		MeanSvc: meanSvc,
+	}
+	if span := measEnd.Sub(measStart); span > 0 {
+		res.Throughput = float64(cfg.Measure-1) / span.Nanos()
+	}
+	return res, nil
+}
+
+// Point is one (load, tail latency) observation on a latency-throughput curve.
+type Point struct {
+	Load       float64 // offered load in (0,1)
+	Throughput float64 // measured completions per ns
+	P99        float64 // 99th-percentile sojourn time, ns
+	P50        float64
+	Mean       float64
+}
+
+// Curve is a latency-vs-load series for one system configuration, the unit
+// of data behind every figure in §2.2 and §6.3.
+type Curve struct {
+	Label  string
+	Points []Point
+}
+
+// Sweep runs cfg at each offered load and collects the curve. Loads must be
+// ascending for readable output but the function does not require it.
+func Sweep(cfg Config, loads []float64, label string) (Curve, error) {
+	c := Curve{Label: label}
+	for i, load := range loads {
+		cfg.Load = load
+		cfg.Seed = cfg.Seed + uint64(i)*1e9 // decorrelate points
+		res, err := Run(cfg)
+		if err != nil {
+			return Curve{}, fmt.Errorf("sweep %s at load %v: %w", label, load, err)
+		}
+		c.Points = append(c.Points, Point{
+			Load:       load,
+			Throughput: res.Throughput,
+			P99:        res.Latency.P99,
+			P50:        res.Latency.P50,
+			Mean:       res.Latency.Mean,
+		})
+	}
+	return c, nil
+}
+
+// ThroughputUnderSLO returns the highest measured throughput whose p99 meets
+// slo, scanning the curve. It returns 0 if no point meets the SLO.
+func ThroughputUnderSLO(c Curve, slo float64) float64 {
+	best := 0.0
+	for _, p := range c.Points {
+		if p.P99 <= slo && p.Throughput > best {
+			best = p.Throughput
+		}
+	}
+	return best
+}
+
+// SplitService builds the §6.3 service-time construction: a fraction of the
+// mean (distributedMean) follows the shape of d, and the remainder
+// (totalMean − distributedMean) is fixed. This mirrors how the paper makes
+// its queueing model comparable to the full-system measurement.
+func SplitService(d dist.Sampler, distributedMean, totalMean float64) dist.Sampler {
+	if distributedMean <= 0 || distributedMean > totalMean {
+		panic(fmt.Sprintf("queueing: SplitService means invalid: D=%g, total=%g", distributedMean, totalMean))
+	}
+	inner := dist.Scaled{Factor: distributedMean / d.Mean(), Inner: d}
+	return dist.Shifted{Base: totalMean - distributedMean, Inner: inner}
+}

@@ -1,0 +1,133 @@
+// Package report renders experiment results as aligned text tables, CSV, or
+// JSON. Every figure-regeneration command and benchmark uses it so the
+// output the repository produces is uniform and directly comparable with the
+// paper's tables and figures.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. It panics if the cell count does not match the
+// column count — a malformed table is a programming error in a harness.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("report: row has %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row formatting each value with %v, floats with %.4g.
+func (t *Table) AddRowf(values ...any) {
+	cells := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		case float32:
+			cells[i] = fmt.Sprintf("%.4g", x)
+		default:
+			cells[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(cells...)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i, w := range widths {
+		rule[i] = strings.Repeat("-", w)
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV (header row first, title omitted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON renders the table as a JSON array of objects keyed by column.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := make([]map[string]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		obj := make(map[string]string, len(t.Columns))
+		for i, col := range t.Columns {
+			obj[col] = row[i]
+		}
+		out = append(out, obj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Format selects an output encoding by name: "text", "csv", or "json".
+func (t *Table) Format(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return t.WriteText(w)
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	default:
+		return fmt.Errorf("report: unknown format %q (want text, csv, or json)", format)
+	}
+}

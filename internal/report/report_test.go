@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("demo", "load", "p99")
+	t.AddRow("0.5", "3.2")
+	t.AddRowf(0.75, 6.125)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"# demo", "load", "p99", "0.5", "6.125", "----"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d", len(lines))
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("1")
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Fatal("untitled table printed a title line")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "load,p99\n0.5,3.2\n0.75,6.125\n"
+	if b.String() != want {
+		t.Fatalf("csv = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]string
+	if err := json.Unmarshal([]byte(b.String()), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["load"] != "0.5" || rows[1]["p99"] != "6.125" {
+		t.Fatalf("json rows = %+v", rows)
+	}
+}
+
+func TestFormatDispatch(t *testing.T) {
+	for _, f := range []string{"", "text", "csv", "json"} {
+		var b strings.Builder
+		if err := sample().Format(&b, f); err != nil {
+			t.Fatalf("format %q: %v", f, err)
+		}
+		if b.Len() == 0 {
+			t.Fatalf("format %q produced no output", f)
+		}
+	}
+	var b strings.Builder
+	if err := sample().Format(&b, "xml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	NewTable("t", "a", "b").AddRow("only-one")
+}

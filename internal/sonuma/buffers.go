@@ -1,0 +1,184 @@
+package sonuma
+
+import "fmt"
+
+// SendSlot is the bookkeeping record for one outstanding outbound message
+// (§4.2 "Buffer provisioning"): a valid bit, a pointer to the payload in
+// local memory (abstracted to an opaque token here), and the payload size.
+type SendSlot struct {
+	Valid   bool
+	Payload uint64 // opaque local-buffer token; the simulator doesn't move real bytes
+	Size    int
+}
+
+// SendBuffer is a node's send-side bookkeeping: N sets of S slots, one set
+// per destination node. A slot is acquired when a core initiates a send and
+// released when the destination's replenish arrives.
+type SendBuffer struct {
+	cfg   DomainConfig
+	slots [][]SendSlot // [dest][slot]
+	used  []int        // per-destination count of valid slots
+}
+
+// NewSendBuffer allocates the send-side slot bookkeeping for a domain.
+func NewSendBuffer(cfg DomainConfig) (*SendBuffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &SendBuffer{
+		cfg:   cfg,
+		slots: make([][]SendSlot, cfg.Nodes),
+		used:  make([]int, cfg.Nodes),
+	}
+	for i := range b.slots {
+		b.slots[i] = make([]SendSlot, cfg.Slots)
+	}
+	return b, nil
+}
+
+// Acquire claims a free slot toward dest for a message of the given size.
+// It reports false when all S slots toward dest are in flight — the
+// end-to-end flow-control condition that back-pressures senders.
+func (b *SendBuffer) Acquire(dest NodeID, payload uint64, size int) (int, bool) {
+	if int(dest) < 0 || int(dest) >= b.cfg.Nodes {
+		panic(fmt.Sprintf("sonuma: Acquire dest %d outside domain", dest))
+	}
+	if size > b.cfg.MaxMsgSize {
+		panic(fmt.Sprintf("sonuma: Acquire size %d exceeds max inline %d; use rendezvous", size, b.cfg.MaxMsgSize))
+	}
+	set := b.slots[dest]
+	for i := range set {
+		if !set[i].Valid {
+			set[i] = SendSlot{Valid: true, Payload: payload, Size: size}
+			b.used[dest]++
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// Release frees a slot toward dest — the effect of an arriving replenish,
+// which in the protocol is a remote write resetting the slot's valid bit.
+// Releasing a slot that is not in flight is a protocol violation and
+// returns an error.
+func (b *SendBuffer) Release(dest NodeID, slot int) error {
+	if int(dest) < 0 || int(dest) >= b.cfg.Nodes {
+		return fmt.Errorf("sonuma: Release dest %d outside domain", dest)
+	}
+	if slot < 0 || slot >= b.cfg.Slots {
+		return fmt.Errorf("sonuma: Release slot %d outside [0,%d)", slot, b.cfg.Slots)
+	}
+	if !b.slots[dest][slot].Valid {
+		return fmt.Errorf("sonuma: Release of already-free slot %d toward node %d", slot, dest)
+	}
+	b.slots[dest][slot] = SendSlot{}
+	b.used[dest]--
+	return nil
+}
+
+// InFlight reports the number of outstanding sends toward dest.
+func (b *SendBuffer) InFlight(dest NodeID) int { return b.used[dest] }
+
+// Slot returns a copy of the bookkeeping record for inspection.
+func (b *SendBuffer) Slot(dest NodeID, slot int) SendSlot { return b.slots[dest][slot] }
+
+// recvState tracks assembly of one in-flight inbound message.
+type recvState struct {
+	busy     bool   // payload present, not yet freed by replenish
+	counter  int    // packets received so far (the slot's counter field)
+	expected int    // total packets, from the packet headers
+	src      NodeID // sending node
+	size     int    // message payload size
+}
+
+// ReceiveBuffer is a node's receive-side state: N×S slots, each with the
+// counter field the NI uses to detect that all packets of a send have
+// arrived (§4.2 "Send operation").
+type ReceiveBuffer struct {
+	cfg   DomainConfig
+	slots []recvState
+}
+
+// NewReceiveBuffer allocates receive-side state for a domain.
+func NewReceiveBuffer(cfg DomainConfig) (*ReceiveBuffer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &ReceiveBuffer{cfg: cfg, slots: make([]recvState, cfg.TotalSlots())}, nil
+}
+
+// OnPacket records the arrival of one packet of a send targeting the given
+// global receive-slot index. totalPackets is carried in every packet header
+// (the paper's network-layer extension). It returns complete=true when the
+// fetch-and-increment brings the counter up to the message's packet count.
+//
+// Protocol violations — a packet for a slot still occupied by a fully
+// received, unprocessed message, or headers disagreeing about the message —
+// are returned as errors so the caller can surface corrupted traffic
+// instead of silently miscounting.
+func (b *ReceiveBuffer) OnPacket(index int, src NodeID, size, totalPackets int) (complete bool, err error) {
+	if index < 0 || index >= len(b.slots) {
+		return false, fmt.Errorf("sonuma: packet targets slot %d outside [0,%d)", index, len(b.slots))
+	}
+	if totalPackets <= 0 {
+		return false, fmt.Errorf("sonuma: packet header claims %d total packets", totalPackets)
+	}
+	st := &b.slots[index]
+	if st.busy && st.counter == st.expected {
+		return false, fmt.Errorf("sonuma: packet for slot %d which holds an unconsumed message", index)
+	}
+	if st.counter == 0 {
+		// First packet of a new message claims the slot.
+		st.busy = true
+		st.expected = totalPackets
+		st.src = src
+		st.size = size
+	} else if st.expected != totalPackets || st.src != src || st.size != size {
+		return false, fmt.Errorf("sonuma: slot %d header mismatch: have (%d pkts, src %d, %dB), got (%d, %d, %dB)",
+			index, st.expected, st.src, st.size, totalPackets, src, size)
+	}
+	st.counter++ // the NI pipeline's fetch-and-increment
+	return st.counter == st.expected, nil
+}
+
+// Message returns the (src, size) recorded for a fully assembled message.
+// It errors if the slot does not hold a complete message.
+func (b *ReceiveBuffer) Message(index int) (NodeID, int, error) {
+	if index < 0 || index >= len(b.slots) {
+		return 0, 0, fmt.Errorf("sonuma: Message slot %d out of range", index)
+	}
+	st := &b.slots[index]
+	if !st.busy || st.counter != st.expected {
+		return 0, 0, fmt.Errorf("sonuma: slot %d does not hold a complete message", index)
+	}
+	return st.src, st.size, nil
+}
+
+// Free releases a receive slot after the serving core has processed the
+// message and issued its replenish, resetting the counter for reuse.
+func (b *ReceiveBuffer) Free(index int) error {
+	if index < 0 || index >= len(b.slots) {
+		return fmt.Errorf("sonuma: Free slot %d out of range", index)
+	}
+	st := &b.slots[index]
+	if !st.busy {
+		return fmt.Errorf("sonuma: Free of idle slot %d", index)
+	}
+	*st = recvState{}
+	return nil
+}
+
+// Busy reports whether a slot currently holds an in-flight or unconsumed
+// message.
+func (b *ReceiveBuffer) Busy(index int) bool { return b.slots[index].busy }
+
+// InUse counts slots currently busy, for occupancy accounting in tests.
+func (b *ReceiveBuffer) InUse() int {
+	n := 0
+	for i := range b.slots {
+		if b.slots[i].busy {
+			n++
+		}
+	}
+	return n
+}

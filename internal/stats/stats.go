@@ -1,0 +1,271 @@
+// Package stats collects latency samples and computes the tail statistics
+// the paper reports (99th-percentile latency as a function of throughput).
+//
+// Two collectors are provided. Sample keeps every observation and computes
+// exact order statistics; it is the default for experiment-sized runs
+// (hundreds of thousands of samples). Histogram is an HDR-style
+// logarithmically-bucketed histogram with bounded memory and a configurable
+// relative error, for very long runs. The test suite cross-validates the two
+// against each other.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates float64 observations and computes exact statistics.
+// The zero value is ready to use.
+type Sample struct {
+	values []float64
+	sorted bool
+	sum    float64
+	sumSq  float64
+	min    float64
+	max    float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	if len(s.values) == 0 || v < s.min {
+		s.min = v
+	}
+	if len(s.values) == 0 || v > s.max {
+		s.max = v
+	}
+	s.values = append(s.values, v)
+	s.sorted = false
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// Count reports the number of observations recorded.
+func (s *Sample) Count() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.values))
+}
+
+// Variance returns the population variance, or 0 when empty.
+func (s *Sample) Variance() float64 {
+	n := float64(len(s.values))
+	if n == 0 {
+		return 0
+	}
+	m := s.sum / n
+	v := s.sumSq/n - m*m
+	if v < 0 { // floating-point guard
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Sample) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Sample) Max() float64 { return s.max }
+
+// Quantile returns the p-quantile (0 ≤ p ≤ 1) using the nearest-rank method
+// on the sorted observations. It returns 0 when the sample is empty.
+func (s *Sample) Quantile(p float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(s.values)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s.values[rank]
+}
+
+// P99 is shorthand for Quantile(0.99), the paper's tail-latency metric.
+func (s *Sample) P99() float64 { return s.Quantile(0.99) }
+
+// P50 is shorthand for Quantile(0.50).
+func (s *Sample) P50() float64 { return s.Quantile(0.50) }
+
+// Reset discards all observations.
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sorted = false
+	s.sum, s.sumSq, s.min, s.max = 0, 0, 0, 0
+}
+
+// Values returns the recorded observations (sorted if a quantile has been
+// computed). The caller must not modify the returned slice.
+func (s *Sample) Values() []float64 { return s.values }
+
+// Summary is a compact set of tail statistics, suitable for tables.
+type Summary struct {
+	Count          int
+	Mean, Min, Max float64
+	P50, P90, P99  float64
+	P999           float64
+	StdDev         float64
+}
+
+// Summarize computes a Summary from the sample.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		Count:  s.Count(),
+		Mean:   s.Mean(),
+		Min:    s.Min(),
+		Max:    s.Max(),
+		P50:    s.Quantile(0.50),
+		P90:    s.Quantile(0.90),
+		P99:    s.Quantile(0.99),
+		P999:   s.Quantile(0.999),
+		StdDev: s.StdDev(),
+	}
+}
+
+func (m Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f p50=%.1f p99=%.1f p99.9=%.1f max=%.1f",
+		m.Count, m.Mean, m.P50, m.P99, m.P999, m.Max)
+}
+
+// Histogram is a log-bucketed histogram with bounded relative error,
+// in the spirit of HdrHistogram. Values are assigned to buckets whose
+// boundaries grow geometrically, so quantile estimates carry a relative
+// error of at most the configured precision.
+type Histogram struct {
+	min, max    float64
+	growth      float64 // bucket boundary growth factor (1 + 2·precision)
+	logGrowth   float64
+	counts      []uint64
+	total       uint64
+	underflow   uint64
+	overflow    uint64
+	sum         float64
+	observedMax float64
+	observedMin float64
+}
+
+// NewHistogram creates a Histogram covering [min, max] with the given
+// relative precision (e.g. 0.01 for 1%). It panics on invalid bounds, since
+// a histogram with a broken domain would silently corrupt results.
+func NewHistogram(min, max, precision float64) *Histogram {
+	if !(min > 0) || !(max > min) || !(precision > 0 && precision < 1) {
+		panic(fmt.Sprintf("stats: invalid histogram domain [%g,%g] precision %g", min, max, precision))
+	}
+	growth := 1 + 2*precision
+	n := int(math.Ceil(math.Log(max/min)/math.Log(growth))) + 1
+	return &Histogram{
+		min:       min,
+		max:       max,
+		growth:    growth,
+		logGrowth: math.Log(growth),
+		counts:    make([]uint64, n),
+	}
+}
+
+// bucket returns the bucket index for v, assuming min ≤ v ≤ max.
+func (h *Histogram) bucket(v float64) int {
+	idx := int(math.Log(v/h.min) / h.logGrowth)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// Add records one observation. Out-of-domain values are tallied in
+// underflow/overflow counters rather than dropped.
+func (h *Histogram) Add(v float64) {
+	if h.total == 0 || v > h.observedMax {
+		h.observedMax = v
+	}
+	if h.total == 0 || v < h.observedMin {
+		h.observedMin = v
+	}
+	h.total++
+	h.sum += v
+	switch {
+	case v < h.min:
+		h.underflow++
+	case v > h.max:
+		h.overflow++
+	default:
+		h.counts[h.bucket(v)]++
+	}
+}
+
+// Count reports the number of observations recorded (including out-of-domain
+// ones).
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the exact arithmetic mean of all recorded observations.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observation recorded.
+func (h *Histogram) Max() float64 { return h.observedMax }
+
+// Min returns the smallest observation recorded.
+func (h *Histogram) Min() float64 { return h.observedMin }
+
+// Quantile estimates the p-quantile. Underflowed observations count as min,
+// overflowed ones as the observed maximum.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return h.observedMax
+	}
+	target := uint64(math.Ceil(p * float64(h.total)))
+	if target == 0 {
+		target = 1
+	}
+	cum := h.underflow
+	if cum >= target {
+		return h.observedMin
+	}
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			// Geometric midpoint of the bucket bounds the relative error.
+			lo := h.min * math.Pow(h.growth, float64(i))
+			hi := lo * h.growth
+			return math.Sqrt(lo * hi)
+		}
+	}
+	return h.observedMax
+}
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Reset discards all observations, retaining the configured domain.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total, h.underflow, h.overflow = 0, 0, 0
+	h.sum, h.observedMax, h.observedMin = 0, 0, 0
+}

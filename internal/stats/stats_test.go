@@ -1,0 +1,262 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rpcvalet/internal/rng"
+)
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Count() != 0 || s.Mean() != 0 || s.Quantile(0.99) != 0 || s.Variance() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSampleBasic(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if s.Count() != 5 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Mean() != 3 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Quantile(0.5) != 3 {
+		t.Fatalf("median = %v", s.Quantile(0.5))
+	}
+	if s.Quantile(0) != 1 || s.Quantile(1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if v := s.Variance(); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("variance = %v, want 2", v)
+	}
+	if sd := s.StdDev(); math.Abs(sd-math.Sqrt2) > 1e-12 {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestSampleAddAfterQuantile(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(20)
+	_ = s.Quantile(0.5) // forces sort
+	s.Add(5)            // must invalidate sorted flag
+	if got := s.Quantile(0); got != 5 {
+		t.Fatalf("min quantile after late add = %v, want 5", got)
+	}
+}
+
+func TestNearestRank(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	// Nearest-rank: p99 of 1..100 is the 99th value.
+	if got := s.P99(); got != 99 {
+		t.Fatalf("p99 = %v, want 99", got)
+	}
+	if got := s.P50(); got != 50 {
+		t.Fatalf("p50 = %v, want 50", got)
+	}
+	if got := s.Quantile(0.999); got != 100 {
+		t.Fatalf("p99.9 = %v, want 100", got)
+	}
+}
+
+func TestSampleReset(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.Count() != 0 || s.Mean() != 0 || s.Max() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+	s.Add(7)
+	if s.Mean() != 7 || s.Min() != 7 {
+		t.Fatal("sample unusable after reset")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Add(float64(i))
+	}
+	sum := s.Summarize()
+	if sum.Count != 1000 || sum.P50 != 500 || sum.P99 != 990 || sum.P999 != 999 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum.String() == "" {
+		t.Fatal("empty summary string")
+	}
+}
+
+// Property: Quantile agrees with direct sorted-slice indexing for random data.
+func TestPropertySampleQuantile(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := int(n16%2000) + 1
+		r := rng.New(seed)
+		var s Sample
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = r.Float64() * 1e6
+			s.Add(vals[i])
+		}
+		sort.Float64s(vals)
+		for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99} {
+			rank := int(math.Ceil(p*float64(n))) - 1
+			if rank < 0 {
+				rank = 0
+			}
+			if s.Quantile(p) != vals[rank] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPanicsOnBadDomain(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"minZero":   func() { NewHistogram(0, 10, 0.01) },
+		"maxBelow":  func() { NewHistogram(10, 5, 0.01) },
+		"precision": func() { NewHistogram(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 1e9, 0.01)
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramExactMean(t *testing.T) {
+	h := NewHistogram(1, 1e6, 0.01)
+	for i := 1; i <= 1000; i++ {
+		h.Add(float64(i))
+	}
+	if math.Abs(h.Mean()-500.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 500.5 (mean must be exact)", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 1000 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h := NewHistogram(10, 100, 0.01)
+	h.Add(1)    // underflow
+	h.Add(1000) // overflow
+	h.Add(50)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.01); q != 1 {
+		t.Fatalf("low quantile = %v, want underflow min 1", q)
+	}
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("top quantile = %v, want observed max 1000", q)
+	}
+}
+
+// Property: histogram quantiles agree with exact quantiles within the
+// configured relative precision (plus bucket-midpoint slack).
+func TestPropertyHistogramVsExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		h := NewHistogram(1, 1e7, 0.01)
+		var s Sample
+		for i := 0; i < 5000; i++ {
+			// Log-uniform values spanning several decades.
+			v := math.Exp(r.Float64() * math.Log(1e6))
+			h.Add(v)
+			s.Add(v)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			exact := s.Quantile(p)
+			est := h.Quantile(p)
+			if math.Abs(est-exact)/exact > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(1, 1e3, 0.01)
+	h.Add(5)
+	h.Add(2000)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+	h.Add(10)
+	if h.Quantile(0.5) < 9 || h.Quantile(0.5) > 11 {
+		t.Fatalf("histogram unusable after reset: %v", h.Quantile(0.5))
+	}
+}
+
+func TestHistogramP99Alias(t *testing.T) {
+	h := NewHistogram(1, 1e3, 0.01)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.P99() != h.Quantile(0.99) {
+		t.Fatal("P99 alias mismatch")
+	}
+}
+
+func BenchmarkSampleAdd(b *testing.B) {
+	var s Sample
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i))
+	}
+}
+
+func BenchmarkHistogramAdd(b *testing.B) {
+	h := NewHistogram(1, 1e9, 0.01)
+	for i := 0; i < b.N; i++ {
+		h.Add(float64(i%100000 + 1))
+	}
+}
+
+func TestSampleValues(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	vals := s.Values()
+	if len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+	_ = s.Quantile(0.5) // sorts in place
+	vals = s.Values()
+	if vals[0] != 1 || vals[1] != 3 {
+		t.Fatalf("values after sort = %v", vals)
+	}
+}

@@ -1,0 +1,124 @@
+// Package trace records per-request lifecycle events from the machine model:
+// when a message was fully received by the NI, when the dispatcher assigned
+// it to a core, when the core's handler started, and when the replenish was
+// posted. It exists for observability — debugging dispatch behaviour, and
+// letting downstream users audit exactly where a tail request spent its time
+// — and for the test suite, which uses it to assert causal ordering through
+// the pipeline.
+package trace
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/sim"
+)
+
+// Phase identifies a lifecycle milestone.
+type Phase uint8
+
+// The milestones of one RPC through the server, in causal order.
+const (
+	// PhaseArrive: the message's last packet was written and the NI
+	// considers it received (the latency clock starts here).
+	PhaseArrive Phase = iota
+	// PhaseDispatch: the NI dispatcher assigned the message to a core.
+	PhaseDispatch
+	// PhaseStart: the core began executing the handler.
+	PhaseStart
+	// PhaseComplete: the core posted the replenish (latency clock stops).
+	PhaseComplete
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseArrive:
+		return "arrive"
+	case PhaseDispatch:
+		return "dispatch"
+	case PhaseStart:
+		return "start"
+	case PhaseComplete:
+		return "complete"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Event is one recorded milestone.
+type Event struct {
+	ReqID uint64
+	Phase Phase
+	At    sim.Time
+	Core  int // serving core, -1 when not yet assigned
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("req %d %s @%v core=%d", e.ReqID, e.Phase, e.At, e.Core)
+}
+
+// Recorder consumes lifecycle events. Implementations must be cheap: the
+// machine invokes them inline on the simulation's hot path.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is a bounded ring Recorder keeping the most recent events. The zero
+// value is unusable; create it with NewBuffer.
+type Buffer struct {
+	events  []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// NewBuffer returns a ring buffer holding up to capacity events. It panics
+// on a non-positive capacity.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("trace: buffer capacity must be positive")
+	}
+	return &Buffer{events: make([]Event, 0, capacity)}
+}
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) {
+	b.total++
+	if len(b.events) < cap(b.events) {
+		b.events = append(b.events, e)
+		return
+	}
+	b.events[b.next] = e
+	b.next = (b.next + 1) % cap(b.events)
+	b.wrapped = true
+}
+
+// Total reports how many events were recorded over the buffer's lifetime,
+// including ones evicted by wraparound.
+func (b *Buffer) Total() uint64 { return b.total }
+
+// Events returns the retained events in recording order.
+func (b *Buffer) Events() []Event {
+	if !b.wrapped {
+		return append([]Event(nil), b.events...)
+	}
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.next:]...)
+	out = append(out, b.events[:b.next]...)
+	return out
+}
+
+// ByRequest groups the retained events by request ID, each group in
+// recording order.
+func (b *Buffer) ByRequest() map[uint64][]Event {
+	m := make(map[uint64][]Event)
+	for _, e := range b.Events() {
+		m[e.ReqID] = append(m[e.ReqID], e)
+	}
+	return m
+}
+
+// Func adapts a function to the Recorder interface.
+type Func func(Event)
+
+// Record implements Recorder.
+func (f Func) Record(e Event) { f(e) }

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"testing"
+
+	"rpcvalet/internal/sim"
+)
+
+func TestPhaseStrings(t *testing.T) {
+	cases := map[Phase]string{
+		PhaseArrive:   "arrive",
+		PhaseDispatch: "dispatch",
+		PhaseStart:    "start",
+		PhaseComplete: "complete",
+		Phase(9):      "phase(9)",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("Phase(%d) = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{ReqID: 3, Phase: PhaseStart, At: sim.Time(1500), Core: 2}
+	if e.String() == "" {
+		t.Fatal("empty event string")
+	}
+}
+
+func TestBufferBasics(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 3; i++ {
+		b.Record(Event{ReqID: uint64(i)})
+	}
+	evs := b.Events()
+	if len(evs) != 3 || b.Total() != 3 {
+		t.Fatalf("events=%d total=%d", len(evs), b.Total())
+	}
+	for i, e := range evs {
+		if e.ReqID != uint64(i) {
+			t.Fatalf("order broken: %v", evs)
+		}
+	}
+}
+
+func TestBufferWraparound(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 10; i++ {
+		b.Record(Event{ReqID: uint64(i)})
+	}
+	evs := b.Events()
+	if len(evs) != 3 || b.Total() != 10 {
+		t.Fatalf("events=%d total=%d", len(evs), b.Total())
+	}
+	// Retains the most recent three, in order.
+	for i, want := range []uint64{7, 8, 9} {
+		if evs[i].ReqID != want {
+			t.Fatalf("wraparound order: %v", evs)
+		}
+	}
+}
+
+func TestBufferByRequest(t *testing.T) {
+	b := NewBuffer(16)
+	b.Record(Event{ReqID: 1, Phase: PhaseArrive})
+	b.Record(Event{ReqID: 2, Phase: PhaseArrive})
+	b.Record(Event{ReqID: 1, Phase: PhaseComplete})
+	m := b.ByRequest()
+	if len(m) != 2 || len(m[1]) != 2 || len(m[2]) != 1 {
+		t.Fatalf("grouping wrong: %v", m)
+	}
+	if m[1][0].Phase != PhaseArrive || m[1][1].Phase != PhaseComplete {
+		t.Fatal("per-request order broken")
+	}
+}
+
+func TestBufferPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuffer(0) did not panic")
+		}
+	}()
+	NewBuffer(0)
+}
+
+func TestFuncAdapter(t *testing.T) {
+	var got []Event
+	r := Func(func(e Event) { got = append(got, e) })
+	r.Record(Event{ReqID: 5})
+	if len(got) != 1 || got[0].ReqID != 5 {
+		t.Fatal("Func adapter did not record")
+	}
+}

@@ -1,0 +1,147 @@
+// Package rpcvalet is a library-scale reproduction of "RPCValet: NI-Driven
+// Tail-Aware Balancing of µs-Scale RPCs" (Daglis, Sutherland, Falsafi —
+// ASPLOS 2019).
+//
+// The paper proposes dispatching incoming RPCs to the cores of a manycore
+// server from an on-chip integrated network interface (NI), using real-time
+// per-core occupancy to emulate the theoretically optimal single-queue
+// system without software synchronization. This package exposes the
+// reproduction's full pipeline:
+//
+//   - a deterministic discrete-event model of the 16-core soNUMA server with
+//     Manycore NIs (the paper's evaluation platform), including the native
+//     messaging protocol extension (send/replenish), NI dispatchers, the
+//     RSS-style partitioned baseline, and the MCS-locked software single
+//     queue;
+//   - the paper's workload profiles (synthetic fixed/uniform/exponential/GEV,
+//     HERD-like, Masstree-like);
+//   - the §2.2 queueing-theory models and closed-form validation;
+//   - the experiment harness that regenerates every evaluation figure.
+//
+// # Quick start
+//
+//	cfg := rpcvalet.Config{
+//	    Params:   rpcvalet.DefaultParams(),
+//	    Workload: rpcvalet.HERD(),
+//	    RateMRPS: 10,
+//	    Warmup:   1000,
+//	    Measure:  20000,
+//	    Seed:     1,
+//	}
+//	res, err := rpcvalet.Run(cfg)
+//	// res.Latency.P99 is the 99th-percentile RPC latency in nanoseconds.
+//
+// All simulated latencies are virtual-time measurements: the Go runtime
+// never contaminates them. Identical seeds produce identical results.
+package rpcvalet
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/core"
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/queueing"
+	"rpcvalet/internal/workload"
+)
+
+// Mode selects the load-balancing configuration under test (§6 of the
+// paper). See the constants below.
+type Mode = machine.Mode
+
+// The four evaluated configurations.
+const (
+	// ModeSingleQueue is RPCValet: NI-driven dispatch of all cores from
+	// one queue (Model 1×16).
+	ModeSingleQueue = machine.ModeSingleQueue
+	// ModeGrouped restricts each NI backend to its mesh row (Model 4×4).
+	ModeGrouped = machine.ModeGrouped
+	// ModePartitioned is the RSS-style static baseline (Model 16×1).
+	ModePartitioned = machine.ModePartitioned
+	// ModeSoftware is the MCS-locked software single queue.
+	ModeSoftware = machine.ModeSoftware
+)
+
+// Params are the architectural parameters of the modeled server.
+type Params = machine.Params
+
+// DefaultParams returns the paper-calibrated parameter set (Table 1 plus
+// the calibrated NI/core costs documented in DESIGN.md).
+func DefaultParams() Params { return machine.Defaults() }
+
+// Config describes one machine simulation.
+type Config = machine.Config
+
+// Result is the measured outcome of one simulation.
+type Result = machine.Result
+
+// Run simulates one configuration and returns its measurements.
+func Run(cfg Config) (Result, error) { return machine.Run(cfg) }
+
+// Profile describes a workload: request classes, sizes, and SLO.
+type Profile = workload.Profile
+
+// HERD returns the HERD-like key-value-store profile (Fig 6b; mean 330 ns).
+func HERD() Profile { return workload.HERD() }
+
+// Masstree returns the Masstree-like profile: 99% gets (mean 1.25 µs) and 1%
+// scans (60–120 µs), with a 12.5 µs SLO on gets (Fig 6c, §6.1).
+func Masstree() Profile { return workload.Masstree() }
+
+// Synthetic returns one of the §5 synthetic profiles: "fixed", "uniform",
+// "exp", or "gev" — a 300 ns base plus a 300 ns (mean) distributed extra.
+func Synthetic(kind string) (Profile, error) { return workload.Synthetic(kind) }
+
+// Curve is a measured latency-throughput series for one configuration.
+type Curve = core.Curve
+
+// CurvePoint is one point of a Curve.
+type CurvePoint = core.CurvePoint
+
+// Sweep runs cfg at each offered rate (in MRPS) and returns the curve.
+// Points run concurrently; results are deterministic for a given seed.
+func Sweep(cfg Config, ratesMRPS []float64, label string) (Curve, error) {
+	return core.MachineSweep(cfg, ratesMRPS, label, 0)
+}
+
+// CapacityMRPS estimates the configuration's saturation throughput.
+func CapacityMRPS(p Params, wl Profile) float64 { return core.CapacityMRPS(p, wl) }
+
+// RateGrid builds n offered-load points spanning lo..hi fractions of a
+// capacity estimate, for use with Sweep.
+func RateGrid(capacity, lo, hi float64, n int) []float64 {
+	return core.RateGrid(capacity, lo, hi, n)
+}
+
+// QueueModel describes a theoretical Q×U queueing simulation (§2.2).
+type QueueModel = queueing.Config
+
+// QueueResult is the outcome of a QueueModel run.
+type QueueResult = queueing.Result
+
+// RunQueueModel simulates a theoretical queueing system.
+func RunQueueModel(cfg QueueModel) (QueueResult, error) { return queueing.Run(cfg) }
+
+// Figure is the regenerated data for one paper figure or table.
+type Figure = core.Figure
+
+// Options scales figure regeneration.
+type Options = core.Options
+
+// DefaultOptions sizes runs for full figure regeneration.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// QuickOptions sizes runs for fast, noisier regeneration.
+func QuickOptions() Options { return core.QuickOptions() }
+
+// FigureIDs lists the regenerable figures in presentation order.
+func FigureIDs() []string { return append([]string(nil), core.FigureIDs...) }
+
+// RegenerateFigure reproduces one paper figure ("2a", "7c", "table1", ...)
+// at the given scale.
+func RegenerateFigure(id string, opts Options) (Figure, error) {
+	gen, ok := core.Figures[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("rpcvalet: unknown figure %q", id)
+	}
+	return gen(opts)
+}

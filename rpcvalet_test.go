@@ -1,0 +1,125 @@
+package rpcvalet_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"rpcvalet"
+)
+
+func TestRunFacade(t *testing.T) {
+	cfg := rpcvalet.Config{
+		Params:   rpcvalet.DefaultParams(),
+		Workload: rpcvalet.HERD(),
+		RateMRPS: 8,
+		Warmup:   500,
+		Measure:  8000,
+		Seed:     1,
+	}
+	res, err := rpcvalet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.P99 <= 0 || res.ThroughputMRPS <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	cfg := rpcvalet.Config{
+		Params:   rpcvalet.DefaultParams(),
+		Workload: rpcvalet.HERD(),
+		Warmup:   300,
+		Measure:  4000,
+		Seed:     2,
+	}
+	cap := rpcvalet.CapacityMRPS(cfg.Params, cfg.Workload)
+	curve, err := rpcvalet.Sweep(cfg, rpcvalet.RateGrid(cap, 0.2, 0.8, 3), "herd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 3 {
+		t.Fatalf("points = %d", len(curve.Points))
+	}
+	if curve.ThroughputUnderSLO() <= 0 {
+		t.Fatal("no point met SLO at moderate load")
+	}
+}
+
+func TestModesExported(t *testing.T) {
+	modes := []rpcvalet.Mode{
+		rpcvalet.ModeSingleQueue, rpcvalet.ModeGrouped,
+		rpcvalet.ModePartitioned, rpcvalet.ModeSoftware,
+	}
+	seen := map[string]bool{}
+	for _, m := range modes {
+		seen[m.String()] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("modes collapse: %v", seen)
+	}
+}
+
+func TestProfilesExported(t *testing.T) {
+	if rpcvalet.HERD().Name != "herd" || rpcvalet.Masstree().Name != "masstree" {
+		t.Fatal("profile names wrong")
+	}
+	p, err := rpcvalet.Synthetic("gev")
+	if err != nil || math.Abs(p.MeanService()-600) > 6 {
+		t.Fatalf("synthetic gev: %v mean=%v", err, p.MeanService())
+	}
+	if _, err := rpcvalet.Synthetic("nope"); err == nil {
+		t.Fatal("unknown synthetic accepted")
+	}
+}
+
+func TestQueueModelFacade(t *testing.T) {
+	res, err := rpcvalet.RunQueueModel(rpcvalet.QueueModel{
+		Queues: 1, ServersPerQueue: 16,
+		Service: nil, Load: 0.5, Measure: 100,
+	})
+	if err == nil {
+		t.Fatalf("nil service accepted: %+v", res)
+	}
+}
+
+func TestRegenerateFigure(t *testing.T) {
+	opts := rpcvalet.QuickOptions()
+	opts.Points = 3
+	opts.Measure = 3000
+	opts.QGen = 5000
+	fig, err := rpcvalet.RegenerateFigure("table1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "table1" || len(fig.Tables) == 0 {
+		t.Fatalf("figure malformed: %+v", fig)
+	}
+	if _, err := rpcvalet.RegenerateFigure("nope", opts); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	ids := rpcvalet.FigureIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d figures registered", len(ids))
+	}
+}
+
+// ExampleRun demonstrates the minimal API path. Determinism of the seeded
+// simulation makes the output stable.
+func ExampleRun() {
+	cfg := rpcvalet.Config{
+		Params:   rpcvalet.DefaultParams(),
+		Workload: rpcvalet.HERD(),
+		RateMRPS: 5,
+		Warmup:   500,
+		Measure:  5000,
+		Seed:     42,
+	}
+	res, err := rpcvalet.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("mode=%s meets SLO=%v\n", res.Mode, res.MeetsSLO)
+	// Output: mode=rpcvalet-1x16 meets SLO=true
+}
