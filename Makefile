@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build fmt vet test bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+test: fmt vet
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

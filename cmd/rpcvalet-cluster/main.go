@@ -1,0 +1,154 @@
+// Command rpcvalet-cluster sweeps a rack of simulated RPCValet servers
+// behind a cluster-level load balancer and prints the policy × load report
+// table: p99 latency (and optionally throughput/imbalance) at each offered
+// load for every requested balancing policy. Identical flags and seed
+// reproduce identical tables.
+//
+// Usage:
+//
+//	rpcvalet-cluster [-nodes 4] [-mode 1x16] [-workload exp]
+//	                 [-policies random,rr,jsq2,bounded] [-points 8]
+//	                 [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
+//	                 [-warmup 2000] [-measure 20000] [-seed 1]
+//	                 [-format text|csv|json] [-detail]
+//
+// Modes name the per-node NI dispatch model: 1x16 (RPCValet), 4x4, 16x1
+// (RSS baseline), sw (MCS software queue). Workloads: herd, masstree,
+// fixed, uniform, exp, gev. Loads are fractions of the cluster's estimated
+// aggregate capacity.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rpcvalet"
+	"rpcvalet/internal/report"
+	"rpcvalet/internal/sim"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 4, "servers behind the balancer")
+		mode     = flag.String("mode", "1x16", "per-node dispatch mode: 1x16, 4x4, 16x1, sw")
+		wlName   = flag.String("workload", "exp", "workload: herd, masstree, fixed, uniform, exp, gev")
+		policies = flag.String("policies", strings.Join(rpcvalet.ClusterPolicies(), ","),
+			"comma-separated balancing policies (random, rr, jsqD, bounded)")
+		points  = flag.Int("points", 8, "offered-load points per policy")
+		lo      = flag.Float64("lo", 0.3, "lowest load fraction of cluster capacity")
+		hi      = flag.Float64("hi", 0.9, "highest load fraction of cluster capacity")
+		hop     = flag.Float64("hop", 500, "balancer→node network hop, ns")
+		sample  = flag.Float64("sample", 0, "balancer depth-view refresh period, ns (0 = live)")
+		warmup  = flag.Int("warmup", 2000, "completions discarded before measuring")
+		measure = flag.Int("measure", 20000, "completions measured per point")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		format  = flag.String("format", "text", "output format: text, csv, or json")
+		detail  = flag.Bool("detail", false, "also print throughput and imbalance tables")
+	)
+	flag.Parse()
+
+	params := rpcvalet.DefaultParams()
+	switch *mode {
+	case "1x16":
+		params.Mode = rpcvalet.ModeSingleQueue
+	case "4x4":
+		params.Mode = rpcvalet.ModeGrouped
+	case "16x1":
+		params.Mode = rpcvalet.ModePartitioned
+	case "sw":
+		params.Mode = rpcvalet.ModeSoftware
+	default:
+		fmt.Fprintf(os.Stderr, "rpcvalet-cluster: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	var wl rpcvalet.Profile
+	switch *wlName {
+	case "herd":
+		wl = rpcvalet.HERD()
+	case "masstree":
+		wl = rpcvalet.Masstree()
+	default:
+		var err error
+		wl, err = rpcvalet.Synthetic(*wlName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	names := strings.Split(*policies, ",")
+	curves := make([]rpcvalet.ClusterCurve, 0, len(names))
+	var loads []float64
+	var capacity float64
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		pol, err := rpcvalet.ClusterPolicyByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(2)
+		}
+		cfg := rpcvalet.DefaultCluster(*nodes, wl, pol)
+		cfg.Node.Params = params
+		cfg.Hop = sim.FromNanos(*hop)
+		cfg.SampleEvery = sim.FromNanos(*sample)
+		cfg.Warmup = *warmup
+		cfg.Measure = *measure
+		cfg.Seed = *seed
+		capacity = rpcvalet.ClusterCapacityMRPS(cfg)
+		if loads == nil {
+			loads = fractions(*lo, *hi, *points)
+		}
+		rates := make([]float64, len(loads))
+		for i, f := range loads {
+			rates[i] = f * capacity
+		}
+		curve, err := rpcvalet.ClusterSweep(cfg, rates, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		curves = append(curves, curve)
+	}
+
+	fmt.Printf("# cluster: %d × %s nodes, %s workload, capacity ≈ %.1f MRPS, hop %.0f ns, seed %d\n\n",
+		*nodes, *mode, wl.Name, capacity, *hop, *seed)
+	emit := func(title string, value func(rpcvalet.ClusterPoint) float64) {
+		cols := []string{"load", "rate_mrps"}
+		for _, c := range curves {
+			cols = append(cols, c.Label)
+		}
+		tbl := report.NewTable(title, cols...)
+		for i, f := range loads {
+			row := []any{f, curves[0].Points[i].RateMRPS}
+			for _, c := range curves {
+				row = append(row, value(c.Points[i]))
+			}
+			tbl.AddRowf(row...)
+		}
+		if err := tbl.Format(os.Stdout, *format); err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	emit("p99 latency (ns) by policy", func(p rpcvalet.ClusterPoint) float64 { return p.P99 })
+	if *detail {
+		emit("throughput (MRPS) by policy", func(p rpcvalet.ClusterPoint) float64 { return p.ThroughputMRPS })
+		emit("completion imbalance (max/mean) by policy", func(p rpcvalet.ClusterPoint) float64 { return p.Imbalance })
+	}
+}
+
+// fractions builds n evenly spaced load fractions in [lo, hi].
+func fractions(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{hi}
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}

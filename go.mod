@@ -1,0 +1,3 @@
+module rpcvalet
+
+go 1.24

@@ -1,0 +1,302 @@
+// Package cluster simulates a rack of RPCValet servers behind a
+// cluster-level load balancer: N independent per-node machine models
+// (internal/machine) sharing one virtual clock (internal/sim), fed by an
+// aggregate open-loop Poisson arrival stream that a front-end Policy routes
+// node by node.
+//
+// The paper balances µs-scale RPCs across the cores of one server; this
+// package composes that intra-node dispatch (16×1 / 4×4 / 1×16) with
+// inter-node policy (random / round-robin / JSQ(d) / bounded-load), so
+// experiments can show where cluster-level imbalance re-creates the
+// single-node partitioned pathology one level up — and how much a
+// queue-aware front end recovers. Every routed RPC is charged a configurable
+// network hop before the chosen node's NI sees the message, and the
+// balancer's queue-depth view can be delayed (periodic sampling) to model
+// stale telemetry.
+package cluster
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/dist"
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/stats"
+)
+
+// Config describes one cluster simulation.
+type Config struct {
+	// Nodes is the number of servers behind the balancer.
+	Nodes int
+	// Node is the per-node machine template: architecture, NI dispatch
+	// mode, and workload. Its RateMRPS/Warmup/Measure/Seed fields are
+	// ignored — the cluster generates the traffic and the measurements.
+	Node machine.Config
+	// Policy routes each arriving RPC to a node. See PolicyByName.
+	Policy Policy
+	// RateMRPS is the aggregate offered load across the whole cluster, in
+	// millions of requests per second.
+	RateMRPS float64
+	// Hop is the one-way balancer→node network latency charged to every
+	// RPC before the chosen node's NI sees the message.
+	Hop sim.Duration
+	// SampleEvery is the period at which the balancer refreshes its
+	// per-node queue-depth view. Zero means a live (zero-staleness) view.
+	SampleEvery sim.Duration
+	Warmup      int // completions discarded before measuring
+	Measure     int // completions measured
+	Seed        uint64
+	// MaxSimTime aborts the run after this much virtual time (0 = none).
+	MaxSimTime sim.Duration
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("cluster: need at least one node, got %d", c.Nodes)
+	case c.Policy == nil:
+		return fmt.Errorf("cluster: nil policy")
+	case !(c.RateMRPS > 0):
+		return fmt.Errorf("cluster: rate %v MRPS must be positive", c.RateMRPS)
+	case c.Measure <= 0:
+		return fmt.Errorf("cluster: Measure must be positive")
+	case c.Warmup < 0:
+		return fmt.Errorf("cluster: negative warmup")
+	case c.Hop < 0:
+		return fmt.Errorf("cluster: negative hop latency")
+	case c.SampleEvery < 0:
+		return fmt.Errorf("cluster: negative sampling period")
+	}
+	return nil
+}
+
+// Result is the measured outcome of one cluster run.
+type Result struct {
+	Policy   string
+	Nodes    int
+	RateMRPS float64
+	Seed     uint64
+
+	// Latency is end-to-end: balancer ingress → handler completion,
+	// including the network hop, for latency-measured classes only. Ns.
+	Latency        stats.Summary
+	ThroughputMRPS float64 // measured cluster-wide completion rate
+
+	// NodeCompleted counts completions per node over the whole run; the
+	// spread is the balancer's arrival-imbalance fingerprint.
+	NodeCompleted []int
+	// Imbalance is max/mean of NodeCompleted — 1.0 is perfectly even.
+	Imbalance float64
+	// NodeUtilization is each node's mean core busy fraction.
+	NodeUtilization []float64
+
+	SLONanos float64 // workload SLO (absolute, or factor × estimated S̄)
+	MeetsSLO bool
+
+	Completed int
+	TimedOut  bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s×%d @%.2fMRPS: thr=%.2fMRPS p99=%.0fns imbalance=%.2f",
+		r.Policy, r.Nodes, r.RateMRPS, r.ThroughputMRPS, r.Latency.P99, r.Imbalance)
+}
+
+// view is the balancer's depth view over the node set. The balancer always
+// knows its own dispatches the instant it makes them (they happen here), so
+// Depth counts RPCs dispatched to a node and not yet known to be complete.
+// What staleness delays is the *completion* side: with a nonzero sampling
+// period, drains are only reflected at the periodic refresh, while new
+// dispatches keep counting live — the herding a delayed-feedback balancer
+// actually exhibits.
+type view struct {
+	live        bool
+	outstanding []int // truth: dispatched minus completed
+	stale       []int // outstanding as of the last refresh
+	sent        []int // dispatches since the last refresh (always known)
+}
+
+func newView(nodes int, live bool) *view {
+	v := &view{live: live, outstanding: make([]int, nodes)}
+	if !live {
+		v.stale = make([]int, nodes)
+		v.sent = make([]int, nodes)
+	}
+	return v
+}
+
+func (v *view) Nodes() int { return len(v.outstanding) }
+
+func (v *view) Depth(i int) int {
+	if v.live {
+		return v.outstanding[i]
+	}
+	return v.stale[i] + v.sent[i]
+}
+
+func (v *view) dispatched(i int) {
+	v.outstanding[i]++
+	if !v.live {
+		v.sent[i]++
+	}
+}
+
+func (v *view) completed(i int) { v.outstanding[i]-- }
+
+func (v *view) snapshot() {
+	copy(v.stale, v.outstanding)
+	for i := range v.sent {
+		v.sent[i] = 0
+	}
+}
+
+// Run simulates the configured cluster and returns its measurements.
+// Identical configurations produce identical results: the nodes, the
+// arrival stream, and the policy all draw from streams split off cfg.Seed,
+// and the whole cluster executes on one deterministic engine.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	eng := sim.New()
+	root := rng.New(cfg.Seed)
+	arrRNG := root.Split()
+	polRNG := root.Split()
+
+	nodes := make([]*machine.Machine, cfg.Nodes)
+	for i := range nodes {
+		ncfg := cfg.Node
+		ncfg.Seed = root.Split().Uint64()
+		m, err := machine.NewShared(ncfg, eng)
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		nodes[i] = m
+	}
+
+	v := newView(cfg.Nodes, cfg.SampleEvery == 0)
+	if !v.live {
+		var refresh func()
+		refresh = func() {
+			v.snapshot()
+			eng.Schedule(cfg.SampleEvery, refresh)
+		}
+		eng.Schedule(cfg.SampleEvery, refresh)
+	}
+
+	var (
+		latency       stats.Sample
+		completed     int
+		nodeCompleted = make([]int, cfg.Nodes)
+		target        = cfg.Warmup + cfg.Measure
+		measStart     sim.Time
+		measEnd       sim.Time
+		measuring     bool
+		timedOut      bool
+	)
+	if cfg.MaxSimTime > 0 {
+		eng.Schedule(cfg.MaxSimTime, func() {
+			timedOut = true
+			eng.Stop()
+		})
+	}
+
+	var runErr error
+	interarrival := dist.Exponential{MeanValue: 1000 / cfg.RateMRPS} // ns
+	var arrive func()
+	arrive = func() {
+		n := cfg.Policy.Pick(v, polRNG)
+		if n < 0 || n >= cfg.Nodes {
+			// A custom policy misbehaved; fail attributably rather than
+			// panicking deep inside a deferred engine callback.
+			runErr = fmt.Errorf("cluster: policy %s picked node %d of %d", cfg.Policy, n, cfg.Nodes)
+			eng.Stop()
+			return
+		}
+		v.dispatched(n)
+		sent := eng.Now()
+		eng.Schedule(cfg.Hop, func() {
+			nodes[n].Inject(func(_ int, measured bool) {
+				v.completed(n)
+				completed++
+				nodeCompleted[n]++
+				if completed == cfg.Warmup+1 {
+					measStart = eng.Now()
+					measuring = true
+				}
+				if measuring && measured {
+					latency.Add(eng.Now().Sub(sent).Nanos())
+				}
+				if completed >= target {
+					measEnd = eng.Now()
+					measuring = false
+					eng.Stop()
+				}
+			})
+		})
+		eng.Schedule(sim.FromNanos(interarrival.Sample(arrRNG)), arrive)
+	}
+	eng.Schedule(sim.FromNanos(interarrival.Sample(arrRNG)), arrive)
+	eng.Run()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := Result{
+		Policy:        cfg.Policy.String(),
+		Nodes:         cfg.Nodes,
+		RateMRPS:      cfg.RateMRPS,
+		Seed:          cfg.Seed,
+		Latency:       latency.Summarize(),
+		NodeCompleted: nodeCompleted,
+		Completed:     completed,
+		TimedOut:      timedOut,
+	}
+	if span := measEnd.Sub(measStart); span > 0 {
+		res.ThroughputMRPS = float64(cfg.Measure-1) / span.Nanos() * 1000
+	}
+	mean := float64(completed) / float64(cfg.Nodes)
+	if mean > 0 {
+		maxN := 0
+		for _, c := range nodeCompleted {
+			if c > maxN {
+				maxN = c
+			}
+		}
+		res.Imbalance = float64(maxN) / mean
+	}
+	for _, m := range nodes {
+		res.NodeUtilization = append(res.NodeUtilization, m.MeanCoreUtilization())
+	}
+
+	// SLO: absolute when the workload specifies one, otherwise the SLO
+	// factor applied to the estimated mean service time (handler mean plus
+	// fixed per-request core overhead) — the same S̄ CapacityMRPS uses.
+	wl := cfg.Node.Workload
+	if wl.SLONanos > 0 {
+		res.SLONanos = wl.SLONanos
+	} else {
+		res.SLONanos = wl.SLOFactor * (wl.MeanService() + cfg.Node.Params.CoreOverheadNanos())
+	}
+	res.MeetsSLO = !timedOut && res.Latency.Count > 0 && res.Latency.P99 <= res.SLONanos
+	return res, nil
+}
+
+// Point is one (rate, tail) observation of a cluster latency-throughput
+// curve.
+type Point struct {
+	RateMRPS       float64
+	ThroughputMRPS float64
+	P50, P99, Mean float64 // ns
+	Imbalance      float64
+	MeetsSLO       bool
+}
+
+// Curve is a labeled series of Points for one policy/configuration.
+// Curves are produced by the experiment harness's ClusterSweep
+// (internal/core), which runs points concurrently with decorrelated seeds.
+type Curve struct {
+	Label  string
+	Points []Point
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/workload"
+)
+
+// nodeCapacityMRPS mirrors core.CapacityMRPS without importing core (which
+// would cycle once core grows cluster figures).
+func nodeCapacityMRPS(cfg machine.Config) float64 {
+	return float64(cfg.Params.Cores) /
+		(cfg.Workload.MeanService() + cfg.Params.CoreOverheadNanos()) * 1000
+}
+
+func baseConfig(nodes int, pol Policy, loadFrac float64) Config {
+	node := machine.Config{Params: machine.Defaults(), Workload: workload.SyntheticExp()}
+	return Config{
+		Nodes:    nodes,
+		Node:     node,
+		Policy:   pol,
+		RateMRPS: loadFrac * float64(nodes) * nodeCapacityMRPS(node),
+		Hop:      500 * sim.Nanosecond,
+		Warmup:   1000,
+		Measure:  12000,
+		Seed:     1,
+	}
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestValidation(t *testing.T) {
+	good := baseConfig(4, Random{}, 0.5)
+	cases := map[string]func(c *Config){
+		"noNodes":    func(c *Config) { c.Nodes = 0 },
+		"nilPolicy":  func(c *Config) { c.Policy = nil },
+		"zeroRate":   func(c *Config) { c.RateMRPS = 0 },
+		"noMeasure":  func(c *Config) { c.Measure = 0 },
+		"negWarmup":  func(c *Config) { c.Warmup = -1 },
+		"negHop":     func(c *Config) { c.Hop = -1 },
+		"negSample":  func(c *Config) { c.SampleEvery = -1 },
+		"badNodeCfg": func(c *Config) { c.Node.Params.Cores = 0 },
+	}
+	for name, mutate := range cases {
+		cfg := good
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := baseConfig(4, JSQ{D: 2}, 0.7)
+	cfg.Measure = 6000
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.Latency != b.Latency || !reflect.DeepEqual(a.NodeCompleted, b.NodeCompleted) {
+		t.Fatal("identical seeds produced different results")
+	}
+	cfg.Seed = 2
+	c := run(t, cfg)
+	if a.Latency == c.Latency {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+// TestJSQBeatsRandomAt80 is the subsystem's regression gate: a queue-aware
+// front end must not lose to a blind one at high load. At 80% offered load
+// on the synthetic-exponential workload, JSQ(2)'s cluster p99 must be at or
+// below Random's.
+func TestJSQBeatsRandomAt80(t *testing.T) {
+	random := run(t, baseConfig(4, Random{}, 0.8))
+	jsq := run(t, baseConfig(4, JSQ{D: 2}, 0.8))
+	if jsq.Latency.P99 > random.Latency.P99 {
+		t.Fatalf("JSQ(2) p99 %.0fns above Random %.0fns at 80%% load",
+			jsq.Latency.P99, random.Latency.P99)
+	}
+}
+
+// TestRoundRobinEvensArrivals: RR's completion counts must be nearly
+// uniform, and strictly more even than Random's at the same load.
+func TestRoundRobinEvensArrivals(t *testing.T) {
+	rr := run(t, baseConfig(8, &RoundRobin{}, 0.6))
+	random := run(t, baseConfig(8, Random{}, 0.6))
+	if rr.Imbalance > 1.02 {
+		t.Fatalf("round-robin imbalance %.3f, want ~1", rr.Imbalance)
+	}
+	if random.Imbalance <= rr.Imbalance {
+		t.Fatalf("random imbalance %.3f not above round-robin %.3f",
+			random.Imbalance, rr.Imbalance)
+	}
+}
+
+// TestBoundedLoadCapsImbalance: the bounded policy must keep per-node
+// completions within (roughly) its factor of the mean.
+func TestBoundedLoadCapsImbalance(t *testing.T) {
+	res := run(t, baseConfig(8, &BoundedLoad{Factor: 1.25}, 0.7))
+	if res.Imbalance > 1.25 {
+		t.Fatalf("bounded-load imbalance %.3f above factor 1.25", res.Imbalance)
+	}
+}
+
+// TestHopChargesLatency: every measured RPC pays the balancer→node hop, so
+// the minimum end-to-end latency must exceed it; raising the hop must move
+// the whole distribution up by about the difference.
+func TestHopChargesLatency(t *testing.T) {
+	cfg := baseConfig(4, Random{}, 0.3)
+	near := run(t, cfg)
+	if near.Latency.Min < cfg.Hop.Nanos() {
+		t.Fatalf("min latency %.0fns below hop %.0fns", near.Latency.Min, cfg.Hop.Nanos())
+	}
+	cfg.Hop = 5 * sim.Microsecond
+	far := run(t, cfg)
+	wantDelta := (5*sim.Microsecond - 500*sim.Nanosecond).Nanos()
+	delta := far.Latency.P50 - near.Latency.P50
+	if math.Abs(delta-wantDelta) > 0.1*wantDelta {
+		t.Fatalf("p50 moved %.0fns for a %.0fns hop increase", delta, wantDelta)
+	}
+}
+
+// TestStaleViewStillBalances: with a 10 µs sampling period JSQ works off
+// stale depths; it must still complete deterministically and keep its tail
+// within sight of the live-view tail (herding can cost, not diverge).
+func TestStaleViewStillBalances(t *testing.T) {
+	live := baseConfig(4, JSQ{D: 2}, 0.7)
+	stale := live
+	stale.SampleEvery = 10 * sim.Microsecond
+	a := run(t, stale)
+	b := run(t, stale)
+	if a.Latency != b.Latency {
+		t.Fatal("stale-view run not deterministic")
+	}
+	lv := run(t, live)
+	if a.Latency.P99 > 5*lv.Latency.P99 {
+		t.Fatalf("stale JSQ p99 %.0fns implausibly far above live %.0fns",
+			a.Latency.P99, lv.Latency.P99)
+	}
+}
+
+func TestThroughputTracksOffered(t *testing.T) {
+	cfg := baseConfig(4, &RoundRobin{}, 0.5)
+	cfg.Measure = 20000
+	res := run(t, cfg)
+	if math.Abs(res.ThroughputMRPS-cfg.RateMRPS)/cfg.RateMRPS > 0.05 {
+		t.Fatalf("throughput %.2f MRPS, offered %.2f", res.ThroughputMRPS, cfg.RateMRPS)
+	}
+	for i, u := range res.NodeUtilization {
+		if u <= 0 || u >= 1 {
+			t.Fatalf("node %d utilization %v out of range", i, u)
+		}
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range PolicyNames {
+		p, err := PolicyByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.String() == "" {
+			t.Fatalf("%s: empty description", name)
+		}
+	}
+	if p, err := PolicyByName("jsq5"); err != nil || p.(JSQ).D != 5 {
+		t.Fatalf("jsq5 => %v, %v", p, err)
+	}
+	for _, bad := range []string{"", "jsq", "jsq1", "jsqx", "leastconn"} {
+		if _, err := PolicyByName(bad); err == nil {
+			t.Errorf("%q: accepted", bad)
+		}
+	}
+}
+
+func TestPolicyPickBounds(t *testing.T) {
+	nodes := 5
+	v := newView(nodes, false)
+	copy(v.stale, []int{3, 0, 7, 2, 5})
+	r := rng.New(3)
+	for _, p := range []Policy{Random{}, &RoundRobin{}, JSQ{D: 2}, JSQ{D: 16}, &BoundedLoad{Factor: 1.25}} {
+		for i := 0; i < 200; i++ {
+			if got := p.Pick(v, r); got < 0 || got >= nodes {
+				t.Fatalf("%s picked out-of-range node %d", p, got)
+			}
+		}
+	}
+	// Full-scan JSQ on a static view must always find the emptiest node.
+	if got := (JSQ{D: 16}).Pick(v, r); got != 1 {
+		t.Fatalf("full JSQ picked %d, want 1", got)
+	}
+}
+
+// TestTailGrowsWithLoad: p99 must be (noise-tolerantly) non-decreasing in
+// offered load for a queue-aware cluster.
+func TestTailGrowsWithLoad(t *testing.T) {
+	var prev float64
+	for _, frac := range []float64{0.3, 0.6, 0.9} {
+		cfg := baseConfig(2, JSQ{D: 2}, frac)
+		cfg.Measure = 6000
+		res := run(t, cfg)
+		if res.Latency.P99 < prev*0.95 {
+			t.Fatalf("p99 decreased with load: %v -> %v at %v", prev, res.Latency.P99, frac)
+		}
+		prev = res.Latency.P99
+	}
+}
+
+// TestRoguePolicyRejected: a policy returning an out-of-range node must
+// surface as an attributable error, not a panic inside the event loop.
+func TestRoguePolicyRejected(t *testing.T) {
+	cfg := baseConfig(4, roguePolicy{}, 0.3)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range pick accepted")
+	}
+}
+
+type roguePolicy struct{}
+
+func (roguePolicy) Pick(v View, _ *rng.Source) int { return v.Nodes() }
+func (roguePolicy) Clone() Policy                  { return roguePolicy{} }
+func (roguePolicy) String() string                 { return "rogue" }

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rpcvalet/internal/rng"
+)
+
+// View is the balancer's knowledge of node state at decision time. With a
+// nonzero sampling period the depths are stale snapshots, modeling the
+// telemetry delay a real rack-scale balancer pays; with live sampling it is
+// the cluster-level analogue of the paper's NI occupancy feedback.
+type View interface {
+	// Nodes reports the cluster size.
+	Nodes() int
+	// Depth reports the (possibly stale) queue depth of node i: RPCs
+	// dispatched to it and not yet completed.
+	Depth(i int) int
+}
+
+// Policy selects the destination node for each incoming RPC at the cluster
+// front end. Implementations may carry state (rotation position) and are
+// driven by exactly one balancer, never concurrently.
+type Policy interface {
+	// Pick returns the index of the node the next RPC is routed to.
+	Pick(v View, r *rng.Source) int
+	// Clone returns a fresh instance with the same parameters but reset
+	// state, so sweeps can run points concurrently and independently.
+	Clone() Policy
+	String() string
+}
+
+// Random routes each RPC to a uniformly random node — the cluster-level
+// analogue of the paper's uni[0,Q−1] arrival stage (Model Q×U, §2.2). It
+// ignores the view, so per-node arrival bursts re-create the partitioned
+// 16×1 pathology one level up.
+type Random struct{}
+
+func (Random) Pick(v View, r *rng.Source) int { return r.IntN(v.Nodes()) }
+func (Random) Clone() Policy                  { return Random{} }
+func (Random) String() string                 { return "random" }
+
+// RoundRobin cycles through the nodes in order: perfectly even arrival
+// counts, but oblivious to service-time variance piling work on one node.
+type RoundRobin struct {
+	next int
+}
+
+func (p *RoundRobin) Pick(v View, _ *rng.Source) int {
+	i := p.next % v.Nodes()
+	p.next = i + 1
+	return i
+}
+
+func (p *RoundRobin) Clone() Policy  { return &RoundRobin{} }
+func (p *RoundRobin) String() string { return "rr" }
+
+// JSQ is join-shortest-queue over d sampled nodes (power-of-d-choices). With
+// d ≥ the cluster size it degenerates to full JSQ. Ties break toward the
+// earlier sampled node, which the random sampling order already
+// de-biases.
+type JSQ struct {
+	D int // choices per decision; ≥ 2
+}
+
+func (p JSQ) Pick(v View, r *rng.Source) int {
+	n := v.Nodes()
+	d := p.D
+	if d >= n {
+		// Full scan; start at a random offset so persistent ties do not
+		// all land on node 0.
+		start := r.IntN(n)
+		best := start
+		for i := 1; i < n; i++ {
+			c := (start + i) % n
+			if v.Depth(c) < v.Depth(best) {
+				best = c
+			}
+		}
+		return best
+	}
+	best := r.IntN(n)
+	for k := 1; k < d; k++ {
+		c := r.IntN(n)
+		if v.Depth(c) < v.Depth(best) {
+			best = c
+		}
+	}
+	return best
+}
+
+func (p JSQ) Clone() Policy  { return JSQ{D: p.D} }
+func (p JSQ) String() string { return fmt.Sprintf("jsq%d", p.D) }
+
+// BoundedLoad is round-robin with a load bound, in the spirit of consistent
+// hashing with bounded loads: the rotation skips any node whose sampled
+// depth exceeds Factor × the cluster-mean depth, falling back to the
+// least-loaded node when every node is over the bound.
+type BoundedLoad struct {
+	Factor float64 // bound as a multiple of mean depth; ≥ 1 (e.g. 1.25)
+	next   int
+}
+
+func (p *BoundedLoad) Pick(v View, _ *rng.Source) int {
+	n := v.Nodes()
+	total := 0
+	for i := 0; i < n; i++ {
+		total += v.Depth(i)
+	}
+	// The bound counts the incoming RPC, so an idle cluster admits
+	// anywhere: ceil(Factor × (total+1)/n).
+	bound := int(p.Factor*float64(total+1)/float64(n) + 0.999999)
+	least := p.next % n
+	for i := 0; i < n; i++ {
+		c := (p.next + i) % n
+		if v.Depth(c) < v.Depth(least) {
+			least = c
+		}
+		if v.Depth(c) < bound {
+			p.next = c + 1
+			return c
+		}
+	}
+	p.next = least + 1
+	return least
+}
+
+func (p *BoundedLoad) Clone() Policy  { return &BoundedLoad{Factor: p.Factor} }
+func (p *BoundedLoad) String() string { return fmt.Sprintf("bounded%g", p.Factor) }
+
+// PolicyByName builds a fresh policy instance from its report name:
+// "random", "rr", "jsqD" for any d ≥ 2 (e.g. "jsq2"), or "bounded"
+// (Factor 1.25). Each call returns new state, so callers can hand every
+// simulation its own rotation position.
+func PolicyByName(name string) (Policy, error) {
+	switch {
+	case name == "random":
+		return Random{}, nil
+	case name == "rr":
+		return &RoundRobin{}, nil
+	case name == "bounded":
+		return &BoundedLoad{Factor: 1.25}, nil
+	case strings.HasPrefix(name, "jsq"):
+		d, err := strconv.Atoi(name[len("jsq"):])
+		if err != nil || d < 2 {
+			return nil, fmt.Errorf("cluster: bad JSQ choices in %q (want jsq2, jsq3, ...)", name)
+		}
+		return JSQ{D: d}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %q (want random, rr, jsqD, bounded)", name)
+	}
+}
+
+// PolicyNames lists the canonical policy set in report order.
+var PolicyNames = []string{"random", "rr", "jsq2", "bounded"}

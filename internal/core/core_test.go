@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/workload"
 )
@@ -132,6 +133,60 @@ func TestFigureStructure(t *testing.T) {
 				t.Errorf("%s: empty table %q", id, tbl.Title)
 			}
 		}
+	}
+}
+
+// TestClusterSweepDeterministic: cluster sweeps must give identical points
+// regardless of worker count, like the machine sweeps.
+func TestClusterSweepDeterministic(t *testing.T) {
+	o := tinyOptions()
+	base := clusterBase(o, workload.SyntheticExp(), machine.ModeSingleQueue, cluster.JSQ{D: 2})
+	cap := ClusterCapacityMRPS(base)
+	rates := []float64{0.3 * cap, 0.6 * cap, 0.8 * cap}
+	a, err := ClusterSweep(base, rates, "a", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterSweep(base, rates, "b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatalf("point %d differs across worker counts: %+v vs %+v", i, a.Points[i], b.Points[i])
+		}
+	}
+}
+
+func TestClusterSweepPropagatesError(t *testing.T) {
+	o := tinyOptions()
+	base := clusterBase(o, workload.SyntheticExp(), machine.ModeSingleQueue, cluster.JSQ{D: 2})
+	base.Node.Params.Cores = 0
+	if _, err := ClusterSweep(base, []float64{1}, "x", 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestClusterFigure runs the rack-scale composition figure at tiny scale:
+// three node modes × four policies must each yield a full curve.
+func TestClusterFigure(t *testing.T) {
+	o := tinyOptions()
+	o.Points = 3
+	o.Measure = 3000
+	fig, err := Figures["cluster"](o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 3 {
+		t.Fatalf("cluster figure tables = %d, want 3 (one per node mode)", len(fig.Tables))
+	}
+	for _, tbl := range fig.Tables {
+		if len(tbl.Rows) != o.Points || len(tbl.Columns) != 1+len(cluster.PolicyNames) {
+			t.Fatalf("table %q shape %dx%d", tbl.Title, len(tbl.Rows), len(tbl.Columns))
+		}
+	}
+	if len(fig.Claims) != 2 {
+		t.Fatalf("cluster figure claims = %d, want 2", len(fig.Claims))
 	}
 }
 

@@ -1,0 +1,209 @@
+// Package dist provides the service-time and interarrival distributions used
+// throughout the reproduction: the paper's four synthetic shapes (fixed,
+// uniform, exponential, GEV — §5), the lognormal bodies behind the HERD-like
+// and Masstree-like profiles, and the Shifted/Scaled/Normalized combinators
+// the workload and queueing packages compose them with.
+//
+// Every distribution is a small value type implementing Sampler. Sampling is
+// by inversion (or, for the lognormal, via the normal variate of the shared
+// rng.Source), so a distribution driven by a deterministic Source yields a
+// deterministic sequence — the property the whole simulator's
+// reproducibility rests on. Distributions with a closed-form inverse CDF
+// also implement Quantiler.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"rpcvalet/internal/rng"
+)
+
+// Sampler is a probability distribution the simulator can draw from.
+type Sampler interface {
+	// Sample draws one variate using r.
+	Sample(r *rng.Source) float64
+	// Mean returns the analytic expectation. Distributions without a
+	// finite mean (e.g. GEV with shape ≥ 1) return +Inf; callers validate.
+	Mean() float64
+	// String describes the distribution for reports and error messages.
+	String() string
+}
+
+// Quantiler is implemented by distributions with an (at least numerically)
+// invertible CDF.
+type Quantiler interface {
+	Sampler
+	// Quantile returns the p-quantile, p in (0, 1).
+	Quantile(p float64) float64
+}
+
+// Fixed is the degenerate distribution: every sample equals Value.
+type Fixed struct {
+	Value float64
+}
+
+func (d Fixed) Sample(*rng.Source) float64 { return d.Value }
+func (d Fixed) Mean() float64              { return d.Value }
+func (d Fixed) Quantile(float64) float64   { return d.Value }
+func (d Fixed) String() string             { return fmt.Sprintf("fixed(%g)", d.Value) }
+
+// Uniform is the continuous uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+func (d Uniform) Sample(r *rng.Source) float64 { return d.Lo + (d.Hi-d.Lo)*r.Float64() }
+func (d Uniform) Mean() float64                { return (d.Lo + d.Hi) / 2 }
+func (d Uniform) Quantile(p float64) float64   { return d.Lo + (d.Hi-d.Lo)*p }
+func (d Uniform) String() string               { return fmt.Sprintf("uniform[%g,%g)", d.Lo, d.Hi) }
+
+// Exponential is the exponential distribution with mean MeanValue.
+type Exponential struct {
+	MeanValue float64
+}
+
+func (d Exponential) Sample(r *rng.Source) float64 { return d.MeanValue * r.ExpFloat64() }
+func (d Exponential) Mean() float64                { return d.MeanValue }
+func (d Exponential) Quantile(p float64) float64   { return -d.MeanValue * math.Log1p(-p) }
+func (d Exponential) String() string               { return fmt.Sprintf("exp(mean=%g)", d.MeanValue) }
+
+// GEV is the generalized extreme value distribution with location Loc, scale
+// Scale, and shape Shape (ξ). The paper's heavy-tailed synthetic service
+// time is GEV(363, 100, 0.65) in cycles (§5). For Shape ≥ 1 the mean is
+// infinite; for Shape ≥ 1/2 the variance is infinite (the property the
+// Fig 2 variance-ordering experiments exploit).
+type GEV struct {
+	Loc, Scale, Shape float64
+}
+
+// Sample draws by inversion from a uniform variate in (0, 1).
+func (d GEV) Sample(r *rng.Source) float64 { return d.Quantile(r.OpenFloat64()) }
+
+func (d GEV) Mean() float64 {
+	switch {
+	case d.Shape >= 1:
+		return math.Inf(1)
+	case d.Shape == 0:
+		// Gumbel limit: Loc + Scale·γ (Euler–Mascheroni).
+		const eulerGamma = 0.5772156649015329
+		return d.Loc + d.Scale*eulerGamma
+	default:
+		return d.Loc + d.Scale*(math.Gamma(1-d.Shape)-1)/d.Shape
+	}
+}
+
+func (d GEV) Quantile(p float64) float64 {
+	if d.Shape == 0 {
+		return d.Loc - d.Scale*math.Log(-math.Log(p))
+	}
+	return d.Loc + d.Scale*(math.Pow(-math.Log(p), -d.Shape)-1)/d.Shape
+}
+
+func (d GEV) String() string {
+	return fmt.Sprintf("gev(loc=%g,scale=%g,shape=%g)", d.Loc, d.Scale, d.Shape)
+}
+
+// Lognormal is the log-normal distribution: exp(N(Mu, Sigma²)).
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+func (d Lognormal) Sample(r *rng.Source) float64 {
+	return math.Exp(d.Mu + d.Sigma*r.NormFloat64())
+}
+
+func (d Lognormal) Mean() float64 { return math.Exp(d.Mu + d.Sigma*d.Sigma/2) }
+
+func (d Lognormal) Quantile(p float64) float64 {
+	return math.Exp(d.Mu + d.Sigma*probit(p))
+}
+
+func (d Lognormal) String() string {
+	return fmt.Sprintf("lognormal(mu=%g,sigma=%g)", d.Mu, d.Sigma)
+}
+
+// Shifted adds a constant Base to every sample of Inner — the "300 ns fixed
+// plus distributed extra" construction of the synthetic profiles.
+type Shifted struct {
+	Base  float64
+	Inner Sampler
+}
+
+func (d Shifted) Sample(r *rng.Source) float64 { return d.Base + d.Inner.Sample(r) }
+func (d Shifted) Mean() float64                { return d.Base + d.Inner.Mean() }
+
+// Quantile requires Inner to be a Quantiler; shifting by a constant
+// translates every quantile.
+func (d Shifted) Quantile(p float64) float64 {
+	return d.Base + d.Inner.(Quantiler).Quantile(p)
+}
+
+func (d Shifted) String() string { return fmt.Sprintf("%g+%s", d.Base, d.Inner) }
+
+// Scaled multiplies every sample of Inner by Factor.
+type Scaled struct {
+	Factor float64
+	Inner  Sampler
+}
+
+func (d Scaled) Sample(r *rng.Source) float64 { return d.Factor * d.Inner.Sample(r) }
+func (d Scaled) Mean() float64                { return d.Factor * d.Inner.Mean() }
+
+// Quantile requires Inner to be a Quantiler. Factor must be non-negative
+// for the quantile mapping to be order-preserving; the simulator only ever
+// scales by positive normalization factors.
+func (d Scaled) Quantile(p float64) float64 {
+	return d.Factor * d.Inner.(Quantiler).Quantile(p)
+}
+
+func (d Scaled) String() string { return fmt.Sprintf("%g*%s", d.Factor, d.Inner) }
+
+// Normalized rescales d to mean 1, the form the §2.2 queueing experiments
+// use so tails are reported in multiples of S̄. It panics when d has no
+// usable finite mean, since the resulting distribution would be meaningless.
+func Normalized(d Sampler) Sampler {
+	m := d.Mean()
+	if !(m > 0) || math.IsInf(m, 1) {
+		panic(fmt.Sprintf("dist: cannot normalize %s with mean %g", d, m))
+	}
+	return Scaled{Factor: 1 / m, Inner: d}
+}
+
+// probit is the inverse standard normal CDF, using Acklam's rational
+// approximation (relative error below 1.15e-9 across (0,1)).
+func probit(p float64) float64 {
+	if !(p > 0 && p < 1) {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	e := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow, pHigh = 0.02425, 1 - 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((e[0]*q+e[1])*q+e[2])*q+e[3])*q + 1)
+	case p > pHigh:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((e[0]*q+e[1])*q+e[2])*q+e[3])*q + 1)
+	default:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}

@@ -1,0 +1,182 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"rpcvalet/internal/rng"
+)
+
+// moments draws n samples and returns the empirical mean and variance.
+func moments(d Sampler, n int, seed uint64) (mean, variance float64) {
+	r := rng.New(seed)
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := d.Sample(r)
+		sum += v
+		sumSq += v * v
+	}
+	mean = sum / float64(n)
+	variance = sumSq/float64(n) - mean*mean
+	return mean, variance
+}
+
+// TestSampleMomentsMatchClosedForm checks each distribution's empirical mean
+// and variance against the analytic values.
+func TestSampleMomentsMatchClosedForm(t *testing.T) {
+	const n = 400000
+	gev := GEV{Loc: 363, Scale: 100, Shape: 0.3} // shape < 1/2 so variance exists
+	g1 := math.Gamma(1 - gev.Shape)
+	g2 := math.Gamma(1 - 2*gev.Shape)
+	gevVar := gev.Scale * gev.Scale * (g2 - g1*g1) / (gev.Shape * gev.Shape)
+	ln := Lognormal{Mu: 5, Sigma: 0.5}
+	lnVar := (math.Exp(ln.Sigma*ln.Sigma) - 1) * math.Exp(2*ln.Mu+ln.Sigma*ln.Sigma)
+
+	cases := []struct {
+		d       Sampler
+		wantVar float64
+		tolMean float64 // relative
+		tolVar  float64 // relative
+	}{
+		{Fixed{Value: 42}, 0, 0, 0},
+		{Uniform{Lo: 0, Hi: 600}, 600 * 600 / 12.0, 0.01, 0.02},
+		{Exponential{MeanValue: 300}, 300 * 300, 0.01, 0.03},
+		{gev, gevVar, 0.01, 0.1}, // heavy right tail converges slowly
+		{ln, lnVar, 0.01, 0.05},
+	}
+	for _, c := range cases {
+		mean, variance := moments(c.d, n, 7)
+		wantMean := c.d.Mean()
+		if c.tolMean == 0 {
+			if mean != wantMean || variance != 0 {
+				t.Errorf("%s: moments (%g, %g), want (%g, 0)", c.d, mean, variance, wantMean)
+			}
+			continue
+		}
+		if math.Abs(mean-wantMean)/wantMean > c.tolMean {
+			t.Errorf("%s: sampled mean %g, analytic %g", c.d, mean, wantMean)
+		}
+		if math.Abs(variance-c.wantVar)/c.wantVar > c.tolVar {
+			t.Errorf("%s: sampled variance %g, analytic %g", c.d, variance, c.wantVar)
+		}
+	}
+}
+
+func TestGEVInfiniteMean(t *testing.T) {
+	for _, shape := range []float64{1, 1.5, 2} {
+		if m := (GEV{Loc: 0, Scale: 1, Shape: shape}).Mean(); !math.IsInf(m, 1) {
+			t.Errorf("GEV shape %v: mean %v, want +Inf", shape, m)
+		}
+	}
+	// Gumbel limit: Loc + Scale·γ.
+	g := GEV{Loc: 10, Scale: 2, Shape: 0}
+	if want := 10 + 2*0.5772156649015329; math.Abs(g.Mean()-want) > 1e-12 {
+		t.Errorf("Gumbel mean %v, want %v", g.Mean(), want)
+	}
+}
+
+func TestDeterminismUnderFixedSeed(t *testing.T) {
+	dists := []Sampler{
+		Fixed{Value: 1},
+		Uniform{Lo: 0, Hi: 2},
+		Exponential{MeanValue: 1},
+		GEV{Loc: 363, Scale: 100, Shape: 0.65},
+		Lognormal{Mu: 1, Sigma: 0.5},
+		Shifted{Base: 3, Inner: Exponential{MeanValue: 1}},
+		Scaled{Factor: 2, Inner: Uniform{Lo: 0, Hi: 1}},
+		Normalized(GEV{Loc: 363, Scale: 100, Shape: 0.65}),
+	}
+	for _, d := range dists {
+		a, b := rng.New(99), rng.New(99)
+		for i := 0; i < 1000; i++ {
+			if x, y := d.Sample(a), d.Sample(b); x != y {
+				t.Fatalf("%s: sample %d diverged under identical seeds: %v != %v", d, i, x, y)
+			}
+		}
+	}
+}
+
+// TestCombinatorMeanAlgebra: Shifted and Scaled transform Mean() exactly as
+// the algebra says, and Normalized always lands on mean 1.
+func TestCombinatorMeanAlgebra(t *testing.T) {
+	inner := Exponential{MeanValue: 300}
+	if got, want := (Shifted{Base: 100, Inner: inner}).Mean(), 400.0; got != want {
+		t.Errorf("Shifted mean %v, want %v", got, want)
+	}
+	if got, want := (Scaled{Factor: 2.5, Inner: inner}).Mean(), 750.0; got != want {
+		t.Errorf("Scaled mean %v, want %v", got, want)
+	}
+	nested := Shifted{Base: 50, Inner: Scaled{Factor: 0.5, Inner: inner}}
+	if got, want := nested.Mean(), 200.0; got != want {
+		t.Errorf("nested mean %v, want %v", got, want)
+	}
+	for _, d := range []Sampler{
+		Uniform{Lo: 0, Hi: 2},
+		Exponential{MeanValue: 17},
+		GEV{Loc: 363, Scale: 100, Shape: 0.65},
+		nested,
+	} {
+		if m := Normalized(d).Mean(); math.Abs(m-1) > 1e-12 {
+			t.Errorf("Normalized(%s).Mean() = %v, want 1", d, m)
+		}
+	}
+}
+
+func TestNormalizedPanicsOnUnusableMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for infinite-mean distribution")
+		}
+	}()
+	Normalized(GEV{Loc: 0, Scale: 1, Shape: 1.5})
+}
+
+// TestQuantileInvertsCDF: for the invertible distributions, sampling via
+// Quantile(U) and checking a few fixed points against independent formulas.
+func TestQuantileInvertsCDF(t *testing.T) {
+	exp := Exponential{MeanValue: 2}
+	if got, want := exp.Quantile(0.5), 2*math.Ln2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("exp median %v, want %v", got, want)
+	}
+	u := Uniform{Lo: 10, Hi: 20}
+	if got := u.Quantile(0.25); got != 12.5 {
+		t.Errorf("uniform q25 = %v, want 12.5", got)
+	}
+	// Lognormal median is exp(Mu).
+	ln := Lognormal{Mu: 3, Sigma: 0.7}
+	if got, want := ln.Quantile(0.5), math.Exp(3.0); math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("lognormal median %v, want %v", got, want)
+	}
+	// GEV quantile round-trips through its CDF
+	// F(x) = exp(-(1+ξ(x-µ)/σ)^(-1/ξ)).
+	g := GEV{Loc: 363, Scale: 100, Shape: 0.65}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		x := g.Quantile(p)
+		cdf := math.Exp(-math.Pow(1+g.Shape*(x-g.Loc)/g.Scale, -1/g.Shape))
+		if math.Abs(cdf-p) > 1e-9 {
+			t.Errorf("GEV CDF(Q(%v)) = %v", p, cdf)
+		}
+	}
+	// Shifted/Scaled translate and scale quantiles.
+	sh := Shifted{Base: 5, Inner: Scaled{Factor: 3, Inner: exp}}
+	if got, want := sh.Quantile(0.5), 5+3*2*math.Ln2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("combined quantile %v, want %v", got, want)
+	}
+}
+
+// TestProbitAccuracy spot-checks the inverse normal CDF against reference
+// values (Wichura's published test points).
+func TestProbitAccuracy(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:   0,
+		0.975: 1.959963984540054,
+		0.025: -1.959963984540054,
+		0.999: 3.090232306167814,
+		0.001: -3.090232306167814,
+	}
+	for p, want := range cases {
+		if got := probit(p); math.Abs(got-want) > 1e-8 {
+			t.Errorf("probit(%v) = %v, want %v", p, got, want)
+		}
+	}
+}

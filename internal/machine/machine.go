@@ -23,6 +23,10 @@ type request struct {
 	class    int
 	svcNanos float64  // handler time, sampled at admission for determinism
 	arrive   sim.Time // message fully received at the NI (measurement start)
+	// onDone, when non-nil, fires at completion time. Externally injected
+	// requests (multi-node simulations) carry their measurement callback
+	// here instead of using the machine's internal counters.
+	onDone func(class int, measured bool)
 }
 
 // core is one serving core's state.
@@ -98,6 +102,11 @@ type Machine struct {
 	interarrival dist.Exponential
 	nextID       uint64
 
+	// external marks a machine embedded in a larger simulation
+	// (internal/cluster): arrivals are injected by the owner, and the
+	// machine neither measures nor stops the shared engine itself.
+	external bool
+
 	// Measurement.
 	completed          int
 	target             int
@@ -153,13 +162,34 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	return build(cfg, sim.New(), false)
+}
+
+// NewShared wires a machine onto an existing engine, for multi-node
+// simulations (internal/cluster) that run several servers under one virtual
+// clock. A shared machine generates no arrivals of its own — drive it with
+// Inject — and never stops the engine; cfg.RateMRPS, Warmup, Measure, and
+// MaxSimTime are ignored.
+func NewShared(cfg Config, eng *sim.Engine) (*Machine, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	return build(cfg, eng, true)
+}
+
+// build assembles the machine's components on the given engine.
+func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 	p := cfg.Params
 	root := rng.New(cfg.Seed)
 	m := &Machine{
 		p:            p,
 		wl:           cfg.Workload,
 		cfg:          cfg,
-		eng:          sim.New(),
+		eng:          eng,
+		external:     external,
 		arrRNG:       root.Split(),
 		srcRNG:       root.Split(),
 		classRNG:     root.Split(),
@@ -169,7 +199,9 @@ func New(cfg Config) (*Machine, error) {
 		replyWaiters: make(map[sonuma.NodeID][]replyWaiter),
 		target:       cfg.Warmup + cfg.Measure,
 		classLat:     make([]stats.Sample, len(cfg.Workload.Classes)),
-		interarrival: dist.Exponential{MeanValue: 1000 / cfg.RateMRPS}, // ns between arrivals
+	}
+	if cfg.RateMRPS > 0 {
+		m.interarrival = dist.Exponential{MeanValue: 1000 / cfg.RateMRPS} // ns between arrivals
 	}
 
 	for i := 0; i < p.Cores; i++ {
@@ -288,6 +320,9 @@ const ctrlBytes = 16
 // Run executes the simulation until the target completion count (or
 // MaxSimTime) is reached and returns the measured Result.
 func (m *Machine) Run() (Result, error) {
+	if m.external {
+		return Result{}, fmt.Errorf("machine: Run on a shared machine; the owning simulation drives the engine")
+	}
 	if m.cfg.MaxSimTime > 0 {
 		m.eng.Schedule(m.cfg.MaxSimTime, func() {
 			m.timedOut = true
@@ -311,6 +346,19 @@ func (m *Machine) scheduleArrival() {
 // or parks it when the sender has no free message slot (end-to-end flow
 // control back-pressuring the traffic generator).
 func (m *Machine) injectArrival() {
+	m.inject(nil)
+}
+
+// Inject admits one externally generated RPC as if it had just arrived from
+// the cluster network. onDone, if non-nil, fires at the RPC's completion
+// with its class index and whether that class is latency-measured. This is
+// the entry point multi-node simulations drive in place of the machine's
+// own Poisson process.
+func (m *Machine) Inject(onDone func(class int, measured bool)) {
+	m.inject(onDone)
+}
+
+func (m *Machine) inject(onDone func(class int, measured bool)) {
 	src := sonuma.NodeID(m.srcRNG.IntN(m.p.Domain.Nodes))
 	class := m.wl.PickClass(m.classRNG)
 	req := &request{
@@ -318,6 +366,7 @@ func (m *Machine) injectArrival() {
 		src:      src,
 		class:    class,
 		svcNanos: m.wl.Classes[class].Service.Sample(m.svcRNG),
+		onDone:   onDone,
 	}
 	m.nextID++
 	m.inflight[req.id] = req
@@ -327,6 +376,25 @@ func (m *Machine) injectArrival() {
 		return
 	}
 	m.admit(req)
+}
+
+// InFlight reports the number of RPCs admitted (or parked on flow control)
+// but not yet completed — the queue-depth signal a cluster-level balancer
+// samples when comparing nodes.
+func (m *Machine) InFlight() int { return len(m.inflight) }
+
+// MeanCoreUtilization reports the average busy fraction across the serving
+// cores, measured against the engine's current clock.
+func (m *Machine) MeanCoreUtilization() float64 {
+	now := m.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	var busy sim.Duration
+	for _, c := range m.cores {
+		busy += c.busyTime
+	}
+	return float64(busy) / float64(now) / float64(len(m.cores))
 }
 
 // admit claims a receive slot and runs the message through an NI backend.
@@ -485,23 +553,28 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 	m.record(req.id, trace.PhaseComplete, c.id)
 
 	m.completed++
-	if m.completed == m.cfg.Warmup+1 {
-		m.measStart = now
-		m.measuring = true
+	if req.onDone != nil {
+		req.onDone(req.class, m.wl.Classes[req.class].Measured)
 	}
-	if m.measuring {
-		if m.wl.Classes[req.class].Measured {
-			m.latency.Add(now.Sub(req.arrive).Nanos())
+	if !m.external {
+		if m.completed == m.cfg.Warmup+1 {
+			m.measStart = now
+			m.measuring = true
 		}
-		m.classLat[req.class].Add(now.Sub(req.arrive).Nanos())
-		m.svcSample.Add(now.Sub(svcStart).Nanos())
-		m.waitSample.Add(svcStart.Sub(req.arrive).Nanos())
-	}
-	if m.completed >= m.target {
-		m.measEnd = now
-		m.measuring = false
-		m.eng.Stop()
-		return
+		if m.measuring {
+			if m.wl.Classes[req.class].Measured {
+				m.latency.Add(now.Sub(req.arrive).Nanos())
+			}
+			m.classLat[req.class].Add(now.Sub(req.arrive).Nanos())
+			m.svcSample.Add(now.Sub(svcStart).Nanos())
+			m.waitSample.Add(svcStart.Sub(req.arrive).Nanos())
+		}
+		if m.completed >= m.target {
+			m.measEnd = now
+			m.measuring = false
+			m.eng.Stop()
+			return
+		}
 	}
 
 	// Reply transmission through this core's row backend; the remote node

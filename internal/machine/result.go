@@ -62,9 +62,12 @@ func (m *Machine) result() Result {
 	}
 
 	if m.measEnd > m.measStart {
+		// The window spans completion Warmup+1 through Warmup+Measure:
+		// measured−1 inter-completion intervals, the same convention the
+		// queueing and cluster models use.
 		measured := m.completed - m.cfg.Warmup
 		span := m.measEnd.Sub(m.measStart).Nanos()
-		r.ThroughputMRPS = float64(measured) / span * 1000
+		r.ThroughputMRPS = float64(measured-1) / span * 1000
 	}
 
 	if m.wl.SLONanos > 0 {

@@ -38,9 +38,11 @@ package rpcvalet
 import (
 	"fmt"
 
+	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/core"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/queueing"
+	"rpcvalet/internal/sim"
 	"rpcvalet/internal/workload"
 )
 
@@ -111,6 +113,69 @@ func CapacityMRPS(p Params, wl Profile) float64 { return core.CapacityMRPS(p, wl
 func RateGrid(capacity, lo, hi float64, n int) []float64 {
 	return core.RateGrid(capacity, lo, hi, n)
 }
+
+// Cluster describes a rack-scale simulation: N independent server models
+// sharing one virtual clock behind a front-end balancer that routes an
+// aggregate Poisson arrival stream node by node, charging each RPC a network
+// hop. See DefaultCluster for a ready-made starting point.
+type Cluster = cluster.Config
+
+// ClusterResult is the measured outcome of one cluster run.
+type ClusterResult = cluster.Result
+
+// ClusterPolicy routes RPCs to nodes at the cluster front end. Built-ins
+// (random, round-robin, JSQ(d), bounded-load) come from ClusterPolicyByName;
+// custom policies implement the interface directly.
+type ClusterPolicy = cluster.Policy
+
+// ClusterCurve is a measured latency-vs-load series for one cluster
+// configuration.
+type ClusterCurve = cluster.Curve
+
+// ClusterPoint is one point of a ClusterCurve.
+type ClusterPoint = cluster.Point
+
+// ClusterPolicyByName builds a fresh balancing policy: "random", "rr",
+// "jsqD" for any d ≥ 2 (e.g. "jsq2"), or "bounded".
+func ClusterPolicyByName(name string) (ClusterPolicy, error) {
+	return cluster.PolicyByName(name)
+}
+
+// ClusterPolicies lists the canonical policy names in report order.
+func ClusterPolicies() []string { return append([]string(nil), cluster.PolicyNames...) }
+
+// DefaultCluster builds a cluster of n paper-default servers serving wl
+// behind policy, with a 500 ns balancer→node hop, 70% of the estimated
+// aggregate capacity offered, and measurement sizing that matches the
+// single-node quick start. Override fields as needed before RunCluster.
+func DefaultCluster(n int, wl Profile, policy ClusterPolicy) Cluster {
+	cfg := Cluster{
+		Nodes:   n,
+		Node:    machine.Config{Params: machine.Defaults(), Workload: wl},
+		Policy:  policy,
+		Hop:     500 * sim.Nanosecond,
+		Warmup:  1000,
+		Measure: 20000,
+		Seed:    1,
+	}
+	cfg.RateMRPS = 0.7 * ClusterCapacityMRPS(cfg)
+	return cfg
+}
+
+// RunCluster simulates one cluster configuration and returns its
+// measurements. Identical configurations produce identical results.
+func RunCluster(cfg Cluster) (ClusterResult, error) { return cluster.Run(cfg) }
+
+// ClusterSweep runs cfg at each aggregate offered rate (in MRPS) and returns
+// the curve. Points run concurrently; results are deterministic for a given
+// seed.
+func ClusterSweep(cfg Cluster, ratesMRPS []float64, label string) (ClusterCurve, error) {
+	return core.ClusterSweep(cfg, ratesMRPS, label, 0)
+}
+
+// ClusterCapacityMRPS estimates the cluster's aggregate saturation
+// throughput: node count × single-node capacity.
+func ClusterCapacityMRPS(cfg Cluster) float64 { return core.ClusterCapacityMRPS(cfg) }
 
 // QueueModel describes a theoretical Q×U queueing simulation (§2.2).
 type QueueModel = queueing.Config

@@ -105,6 +105,57 @@ func TestRegenerateFigure(t *testing.T) {
 	}
 }
 
+func TestRunClusterFacade(t *testing.T) {
+	pol, err := rpcvalet.ClusterPolicyByName("jsq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpcvalet.DefaultCluster(4, rpcvalet.HERD(), pol)
+	cfg.Measure = 8000
+	res, err := rpcvalet.RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency.P99 <= 0 || res.ThroughputMRPS <= 0 || res.Policy != "jsq2" {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	if len(res.NodeCompleted) != 4 || res.Imbalance < 1 {
+		t.Fatalf("node accounting wrong: %+v", res)
+	}
+}
+
+func TestClusterSweepFacade(t *testing.T) {
+	pol, err := rpcvalet.ClusterPolicyByName("rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpcvalet.DefaultCluster(2, rpcvalet.HERD(), pol)
+	cfg.Warmup, cfg.Measure = 300, 4000
+	cap := rpcvalet.ClusterCapacityMRPS(cfg)
+	curve, err := rpcvalet.ClusterSweep(cfg, rpcvalet.RateGrid(cap, 0.2, 0.8, 3), "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 3 || curve.Label != "rr" {
+		t.Fatalf("curve malformed: %+v", curve)
+	}
+}
+
+func TestClusterPoliciesExported(t *testing.T) {
+	names := rpcvalet.ClusterPolicies()
+	if len(names) < 4 {
+		t.Fatalf("only %d policies: %v", len(names), names)
+	}
+	for _, n := range names {
+		if _, err := rpcvalet.ClusterPolicyByName(n); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+	if _, err := rpcvalet.ClusterPolicyByName("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 // ExampleRun demonstrates the minimal API path. Determinism of the seeded
 // simulation makes the output stable.
 func ExampleRun() {
