@@ -7,15 +7,16 @@
 // Usage:
 //
 //	rpcvalet-cluster [-nodes 4] [-mode 1x16] [-workload exp]
-//	                 [-policies random,rr,jsq2,bounded] [-points 8]
-//	                 [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
+//	                 [-policies random,rr,jsq2,bounded] [-arrival poisson]
+//	                 [-points 8] [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
 //	                 [-warmup 2000] [-measure 20000] [-seed 1]
 //	                 [-format text|csv|json] [-detail]
 //
 // Modes name the per-node NI dispatch model: 1x16 (RPCValet), 4x4, 16x1
 // (RSS baseline), sw (MCS software queue). Workloads: herd, masstree,
-// fixed, uniform, exp, gev. Loads are fractions of the cluster's estimated
-// aggregate capacity.
+// fixed, uniform, exp, gev. Arrivals shape the aggregate traffic: poisson
+// (default), det, mmpp2, lognormal. Loads are fractions of the cluster's
+// estimated aggregate capacity.
 package main
 
 import (
@@ -36,6 +37,7 @@ func main() {
 		wlName   = flag.String("workload", "exp", "workload: herd, masstree, fixed, uniform, exp, gev")
 		policies = flag.String("policies", strings.Join(rpcvalet.ClusterPolicies(), ","),
 			"comma-separated balancing policies (random, rr, jsqD, bounded)")
+		arrName = flag.String("arrival", "poisson", "arrival process: poisson, det, mmpp2, lognormal")
 		points  = flag.Int("points", 8, "offered-load points per policy")
 		lo      = flag.Float64("lo", 0.3, "lowest load fraction of cluster capacity")
 		hi      = flag.Float64("hi", 0.9, "highest load fraction of cluster capacity")
@@ -92,6 +94,12 @@ func main() {
 		}
 		cfg := rpcvalet.DefaultCluster(*nodes, wl, pol)
 		cfg.Node.Params = params
+		// The sweep re-rates the process to each point's aggregate rate.
+		cfg.Arrival, err = rpcvalet.ArrivalByName(*arrName, cfg.RateMRPS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(2)
+		}
 		cfg.Hop = sim.FromNanos(*hop)
 		cfg.SampleEvery = sim.FromNanos(*sample)
 		cfg.Warmup = *warmup

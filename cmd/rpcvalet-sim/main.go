@@ -5,10 +5,13 @@
 // Usage:
 //
 //	rpcvalet-sim -mode 1x16 -workload herd -rate 10 [-measure 50000]
-//	             [-threshold 2] [-seed 1] [-format text|json]
+//	             [-arrival poisson] [-threshold 2] [-seed 1]
+//	             [-format text|json]
 //
 // Modes: 1x16 (RPCValet), 4x4, 16x1 (RSS baseline), sw (MCS software queue).
 // Workloads: herd, masstree, fixed, uniform, exp, gev.
+// Arrivals: poisson (default), det, mmpp2, lognormal — same mean rate,
+// different burstiness.
 package main
 
 import (
@@ -27,6 +30,7 @@ func main() {
 		mode      = flag.String("mode", "1x16", "load-balancing mode: 1x16, 4x4, 16x1, sw")
 		wlName    = flag.String("workload", "herd", "workload: herd, masstree, fixed, uniform, exp, gev")
 		rate      = flag.Float64("rate", 10, "offered load in MRPS")
+		arrName   = flag.String("arrival", "poisson", "arrival process: poisson, det, mmpp2, lognormal")
 		warmup    = flag.Int("warmup", 5000, "completions discarded before measuring")
 		measure   = flag.Int("measure", 50000, "completions measured")
 		threshold = flag.Int("threshold", 2, "outstanding requests per core")
@@ -66,10 +70,17 @@ func main() {
 		}
 	}
 
+	arr, err := rpcvalet.ArrivalByName(*arrName, *rate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+		os.Exit(2)
+	}
+
 	res, err := rpcvalet.Run(rpcvalet.Config{
 		Params:   params,
 		Workload: wl,
 		RateMRPS: *rate,
+		Arrival:  arr,
 		Warmup:   *warmup,
 		Measure:  *measure,
 		Seed:     *seed,

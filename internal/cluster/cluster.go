@@ -1,8 +1,9 @@
 // Package cluster simulates a rack of RPCValet servers behind a
 // cluster-level load balancer: N independent per-node machine models
 // (internal/machine) sharing one virtual clock (internal/sim), fed by an
-// aggregate open-loop Poisson arrival stream that a front-end Policy routes
-// node by node.
+// aggregate open-loop arrival stream (Poisson by default; any
+// arrival.Process via Config.Arrival) that a front-end Policy routes node by
+// node.
 //
 // The paper balances µs-scale RPCs across the cores of one server; this
 // package composes that intra-node dispatch (16×1 / 4×4 / 1×16) with
@@ -18,7 +19,7 @@ package cluster
 import (
 	"fmt"
 
-	"rpcvalet/internal/dist"
+	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
@@ -38,6 +39,11 @@ type Config struct {
 	// RateMRPS is the aggregate offered load across the whole cluster, in
 	// millions of requests per second.
 	RateMRPS float64
+	// Arrival, when non-nil, selects the traffic model of the aggregate
+	// stream; it is re-rated to RateMRPS (shape preserved). Nil means
+	// Poisson at RateMRPS — the historical behavior, byte-for-byte
+	// identical result streams for existing seeds.
+	Arrival arrival.Process
 	// Hop is the one-way balancer→node network latency charged to every
 	// RPC before the chosen node's NI sees the message.
 	Hop sim.Duration
@@ -203,7 +209,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	var runErr error
-	interarrival := dist.Exponential{MeanValue: 1000 / cfg.RateMRPS} // ns
+	arr := arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
 	var arrive func()
 	arrive = func() {
 		n := cfg.Policy.Pick(v, polRNG)
@@ -235,9 +241,9 @@ func Run(cfg Config) (Result, error) {
 				}
 			})
 		})
-		eng.Schedule(sim.FromNanos(interarrival.Sample(arrRNG)), arrive)
+		eng.Schedule(arr.Next(arrRNG), arrive)
 	}
-	eng.Schedule(sim.FromNanos(interarrival.Sample(arrRNG)), arrive)
+	eng.Schedule(arr.Next(arrRNG), arrive)
 	eng.Run()
 	if runErr != nil {
 		return Result{}, runErr

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
@@ -231,3 +232,31 @@ type roguePolicy struct{}
 func (roguePolicy) Pick(v View, _ *rng.Source) int { return v.Nodes() }
 func (roguePolicy) Clone() Policy                  { return roguePolicy{} }
 func (roguePolicy) String() string                 { return "rogue" }
+
+// TestArrivalKindsDeterministic: each built-in arrival process drives the
+// cluster deterministically and non-Poisson traffic actually changes the
+// outcome.
+func TestArrivalKindsDeterministic(t *testing.T) {
+	base := baseConfig(2, JSQ{D: 2}, 0.6)
+	base.Warmup, base.Measure = 500, 6000
+	def := run(t, base)
+	for _, kind := range arrival.Names {
+		arr, err := arrival.ByName(kind, base.RateMRPS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.Arrival = arr
+		a := run(t, cfg)
+		b := run(t, cfg)
+		if a.Latency != b.Latency || a.ThroughputMRPS != b.ThroughputMRPS {
+			t.Fatalf("%s: identical configs differ", kind)
+		}
+		if kind != "poisson" && a.Latency == def.Latency {
+			t.Fatalf("%s: produced the exact Poisson result — process not wired in", kind)
+		}
+		if kind == "poisson" && a.Latency != def.Latency {
+			t.Fatal("explicit poisson differs from nil default")
+		}
+	}
+}

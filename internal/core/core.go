@@ -197,60 +197,76 @@ func GeometricRateGrid(capacity float64, lo, hi float64, n int) []float64 {
 	return rates
 }
 
-// MachineSweep runs the machine at every rate (concurrently — each run is an
-// independent, single-threaded, deterministic simulation) and returns the
-// curve in rate order.
-func MachineSweep(base machine.Config, rates []float64, label string, workers int) (Curve, error) {
+// runPoints is the shared worker pool behind every sweep in the harness: it
+// evaluates point(i) for i in [0, n) concurrently — each point is an
+// independent, single-threaded, deterministic simulation — and returns the
+// results in index order. The first error aborts the whole sweep.
+func runPoints[P any](n, workers int, point func(i int) (P, error)) ([]P, error) {
 	if workers <= 0 {
 		workers = 4
 	}
-	points := make([]CurvePoint, len(rates))
-	errs := make([]error, len(rates))
+	points := make([]P, n)
+	errs := make([]error, n)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	for i, rate := range rates {
-		i, rate := i, rate
+	for i := 0; i < n; i++ {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cfg := base
-			cfg.RateMRPS = rate
-			cfg.Seed = base.Seed + uint64(i)*1_000_003
-			if cfg.MaxSimTime == 0 {
-				// Generous cap: ten times the virtual time the run
-				// needs at its actual completion rate — the offered
-				// rate below saturation, the capacity above it.
-				est := CapacityMRPS(cfg.Params, cfg.Workload)
-				if rate < est {
-					est = rate
-				}
-				need := float64(cfg.Warmup+cfg.Measure) / est * 1000 // ns
-				cfg.MaxSimTime = sim.FromNanos(need * 10)
-			}
-			res, err := machine.Run(cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("sweep %s at %.2f MRPS: %w", label, rate, err)
-				return
-			}
-			points[i] = CurvePoint{
-				RateMRPS:       rate,
-				ThroughputMRPS: res.ThroughputMRPS,
-				P50:            res.Latency.P50,
-				P99:            res.Latency.P99,
-				Mean:           res.Latency.Mean,
-				SLONanos:       res.SLONanos,
-				MeetsSLO:       res.MeetsSLO,
-				ServiceMean:    res.ServiceMeanNanos,
-			}
+			points[i], errs[i] = point(i)
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return Curve{}, err
+			return nil, err
 		}
+	}
+	return points, nil
+}
+
+// machineCapSimTime caps a sweep point's virtual time generously: ten times
+// the time the run needs at its actual completion rate — the offered rate
+// below saturation, the capacity above it.
+func machineCapSimTime(cfg machine.Config, rate float64) sim.Duration {
+	est := CapacityMRPS(cfg.Params, cfg.Workload)
+	if rate < est {
+		est = rate
+	}
+	need := float64(cfg.Warmup+cfg.Measure) / est * 1000 // ns
+	return sim.FromNanos(need * 10)
+}
+
+// MachineSweep runs the machine at every rate (concurrently, on runPoints)
+// and returns the curve in rate order.
+func MachineSweep(base machine.Config, rates []float64, label string, workers int) (Curve, error) {
+	points, err := runPoints(len(rates), workers, func(i int) (CurvePoint, error) {
+		rate := rates[i]
+		cfg := base
+		cfg.RateMRPS = rate
+		cfg.Seed = base.Seed + uint64(i)*1_000_003
+		if cfg.MaxSimTime == 0 {
+			cfg.MaxSimTime = machineCapSimTime(cfg, rate)
+		}
+		res, err := machine.Run(cfg)
+		if err != nil {
+			return CurvePoint{}, fmt.Errorf("sweep %s at %.2f MRPS: %w", label, rate, err)
+		}
+		return CurvePoint{
+			RateMRPS:       rate,
+			ThroughputMRPS: res.ThroughputMRPS,
+			P50:            res.Latency.P50,
+			P99:            res.Latency.P99,
+			Mean:           res.Latency.Mean,
+			SLONanos:       res.SLONanos,
+			MeetsSLO:       res.MeetsSLO,
+			ServiceMean:    res.ServiceMeanNanos,
+		}, nil
+	})
+	if err != nil {
+		return Curve{}, err
 	}
 	return Curve{Label: label, Points: points}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/workload"
@@ -244,5 +245,105 @@ func TestRefineKneeNoCrossing(t *testing.T) {
 	}
 	if refined.Knee != nil {
 		t.Fatal("refinement invented a knee without a crossing")
+	}
+}
+
+// TestMachineSweepDeterministicPerArrival mirrors TestMachineSweepDeterministic
+// for every built-in arrival process: the worker count must never change a
+// sweep's points.
+func TestMachineSweepDeterministicPerArrival(t *testing.T) {
+	o := tinyOptions()
+	rates := []float64{4, 10, 14}
+	for _, kind := range arrival.Names {
+		arr, err := arrival.ByName(kind, rates[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := machineBase(o, workload.HERD(), machine.ModeSingleQueue)
+		cfg.Arrival = arr
+		a, err := MachineSweep(cfg, rates, kind+"-a", 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MachineSweep(cfg, rates, kind+"-b", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Points {
+			if a.Points[i] != b.Points[i] {
+				t.Fatalf("%s: point %d differs across worker counts: %+v vs %+v",
+					kind, i, a.Points[i], b.Points[i])
+			}
+		}
+	}
+}
+
+// TestClusterSweepDeterministicPerArrival is the cluster-layer counterpart.
+func TestClusterSweepDeterministicPerArrival(t *testing.T) {
+	o := tinyOptions()
+	o.Measure = 3000
+	base := clusterBase(o, workload.SyntheticExp(), machine.ModeSingleQueue, cluster.JSQ{D: 2})
+	cap := ClusterCapacityMRPS(base)
+	rates := []float64{0.4 * cap, 0.7 * cap}
+	for _, kind := range arrival.Names {
+		arr, err := arrival.ByName(kind, rates[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.Arrival = arr
+		a, err := ClusterSweep(cfg, rates, kind+"-a", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ClusterSweep(cfg, rates, kind+"-b", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Points {
+			if a.Points[i] != b.Points[i] {
+				t.Fatalf("%s: point %d differs across worker counts: %+v vs %+v",
+					kind, i, a.Points[i], b.Points[i])
+			}
+		}
+	}
+}
+
+// TestFigureBurstStructure checks the burst study's shape at tiny scale.
+func TestFigureBurstStructure(t *testing.T) {
+	o := tinyOptions()
+	fig, err := Figures["burst"](o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 3 {
+		t.Fatalf("burst tables = %d, want 3", len(fig.Tables))
+	}
+	for _, tbl := range fig.Tables {
+		if len(tbl.Rows) != len(arrival.Names) || len(tbl.Columns) != 1+len(hwModes) {
+			t.Fatalf("table %q shape %dx%d", tbl.Title, len(tbl.Rows), len(tbl.Columns))
+		}
+	}
+	if len(fig.Claims) != 2 {
+		t.Fatalf("burst claims = %d, want 2", len(fig.Claims))
+	}
+}
+
+// TestFigureBurstClaims regenerates the burst study at QuickOptions scale —
+// the acceptance scale — and requires both claims to hold: MMPP2 punishes
+// the partitioned system disproportionately, and deterministic arrivals
+// tighten every tail.
+func TestFigureBurstClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickOptions-scale regeneration")
+	}
+	fig, err := Figures["burst"](QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig.Claims {
+		if !c.Ok {
+			t.Errorf("claim failed: %s", c)
+		}
 	}
 }

@@ -38,58 +38,40 @@ func clusterBase(o Options, wl workload.Profile, mode machine.Mode, pol cluster.
 	}
 }
 
-// ClusterSweep runs the cluster at every aggregate rate (concurrently — each
-// run is an independent, single-threaded, deterministic simulation) and
-// returns the curve in rate order. Each point gets a freshly cloned policy,
-// so rotation state never leaks across points or goroutines.
+// ClusterSweep runs the cluster at every aggregate rate (concurrently, on
+// runPoints) and returns the curve in rate order. Each point gets a freshly
+// cloned policy, so rotation state never leaks across points or goroutines.
 func ClusterSweep(base cluster.Config, rates []float64, label string, workers int) (cluster.Curve, error) {
-	if workers <= 0 {
-		workers = 4
-	}
-	points := make([]cluster.Point, len(rates))
-	errs := make([]error, len(rates))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, rate := range rates {
-		i, rate := i, rate
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			cfg := base
-			cfg.RateMRPS = rate
-			cfg.Seed = base.Seed + uint64(i)*1_000_003
-			cfg.Policy = base.Policy.Clone()
-			if cfg.MaxSimTime == 0 {
-				est := ClusterCapacityMRPS(cfg)
-				if rate < est {
-					est = rate
-				}
-				need := float64(cfg.Warmup+cfg.Measure) / est * 1000 // ns
-				cfg.MaxSimTime = sim.FromNanos(need * 10)
+	points, err := runPoints(len(rates), workers, func(i int) (cluster.Point, error) {
+		rate := rates[i]
+		cfg := base
+		cfg.RateMRPS = rate
+		cfg.Seed = base.Seed + uint64(i)*1_000_003
+		cfg.Policy = base.Policy.Clone()
+		if cfg.MaxSimTime == 0 {
+			est := ClusterCapacityMRPS(cfg)
+			if rate < est {
+				est = rate
 			}
-			res, err := cluster.Run(cfg)
-			if err != nil {
-				errs[i] = fmt.Errorf("cluster sweep %s at %.2f MRPS: %w", label, rate, err)
-				return
-			}
-			points[i] = cluster.Point{
-				RateMRPS:       rate,
-				ThroughputMRPS: res.ThroughputMRPS,
-				P50:            res.Latency.P50,
-				P99:            res.Latency.P99,
-				Mean:           res.Latency.Mean,
-				Imbalance:      res.Imbalance,
-				MeetsSLO:       res.MeetsSLO,
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return cluster.Curve{}, err
+			need := float64(cfg.Warmup+cfg.Measure) / est * 1000 // ns
+			cfg.MaxSimTime = sim.FromNanos(need * 10)
 		}
+		res, err := cluster.Run(cfg)
+		if err != nil {
+			return cluster.Point{}, fmt.Errorf("cluster sweep %s at %.2f MRPS: %w", label, rate, err)
+		}
+		return cluster.Point{
+			RateMRPS:       rate,
+			ThroughputMRPS: res.ThroughputMRPS,
+			P50:            res.Latency.P50,
+			P99:            res.Latency.P99,
+			Mean:           res.Latency.Mean,
+			Imbalance:      res.Imbalance,
+			MeetsSLO:       res.MeetsSLO,
+		}, nil
+	})
+	if err != nil {
+		return cluster.Curve{}, err
 	}
 	return cluster.Curve{Label: label, Points: points}, nil
 }

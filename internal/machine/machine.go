@@ -3,7 +3,7 @@ package machine
 import (
 	"fmt"
 
-	"rpcvalet/internal/dist"
+	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/ni"
 	"rpcvalet/internal/noc"
 	"rpcvalet/internal/rng"
@@ -99,8 +99,8 @@ type Machine struct {
 
 	replyWaiters map[sonuma.NodeID][]replyWaiter
 
-	interarrival dist.Exponential
-	nextID       uint64
+	arr    arrival.Process
+	nextID uint64
 
 	// external marks a machine embedded in a larger simulation
 	// (internal/cluster): arrivals are injected by the owner, and the
@@ -126,9 +126,16 @@ type Config struct {
 	Params   Params
 	Workload workload.Profile
 	RateMRPS float64 // offered arrival rate, millions of requests per second
-	Warmup   int     // completions discarded before measuring
-	Measure  int     // completions measured
-	Seed     uint64
+	// Arrival, when non-nil, selects the traffic model driving the open
+	// loop. Nil means Poisson at RateMRPS — the historical behavior,
+	// byte-for-byte identical result streams for existing seeds. When set
+	// alongside a positive RateMRPS, the process is re-rated to RateMRPS
+	// (its shape — burst ratio, gap CV — is preserved); with RateMRPS
+	// zero it is used exactly as constructed.
+	Arrival arrival.Process
+	Warmup  int // completions discarded before measuring
+	Measure int // completions measured
+	Seed    uint64
 	// MaxSimTime aborts the run after this much virtual time (0 = none),
 	// a safety valve for overload points that crawl toward completion.
 	MaxSimTime sim.Duration
@@ -146,7 +153,7 @@ func (c Config) validate() error {
 		return err
 	}
 	switch {
-	case !(c.RateMRPS > 0):
+	case !(c.RateMRPS > 0) && c.Arrival == nil:
 		return fmt.Errorf("machine: rate %v MRPS must be positive", c.RateMRPS)
 	case c.Measure <= 0:
 		return fmt.Errorf("machine: Measure must be positive")
@@ -200,9 +207,7 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 		target:       cfg.Warmup + cfg.Measure,
 		classLat:     make([]stats.Sample, len(cfg.Workload.Classes)),
 	}
-	if cfg.RateMRPS > 0 {
-		m.interarrival = dist.Exponential{MeanValue: 1000 / cfg.RateMRPS} // ns between arrivals
-	}
+	m.arr = arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
 
 	for i := 0; i < p.Cores; i++ {
 		m.cores = append(m.cores, &core{id: i, tile: p.Mesh.TileCoord(i)})
@@ -335,7 +340,7 @@ func (m *Machine) Run() (Result, error) {
 }
 
 func (m *Machine) scheduleArrival() {
-	gap := sim.FromNanos(m.interarrival.Sample(m.arrRNG))
+	gap := m.arr.Next(m.arrRNG)
 	m.eng.Schedule(gap, func() {
 		m.injectArrival()
 		m.scheduleArrival()

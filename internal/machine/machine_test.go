@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/ni"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/trace"
@@ -517,5 +518,57 @@ func TestTraceSoftwareMode(t *testing.T) {
 		if phases[ph] == 0 {
 			t.Fatalf("software mode emitted no %v events", ph)
 		}
+	}
+}
+
+// TestArrivalKindsDeterministic: every built-in arrival process must yield
+// identical results across runs of the same configuration, and actually
+// change the traffic (a non-Poisson process differs from the default).
+func TestArrivalKindsDeterministic(t *testing.T) {
+	base := testConfig(ModeSingleQueue, workload.HERD(), 10)
+	base.Warmup, base.Measure = 500, 6000
+	def := mustRun(t, base)
+	for _, kind := range arrival.Names {
+		arr, err := arrival.ByName(kind, base.RateMRPS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := base
+		cfg.Arrival = arr
+		a := mustRun(t, cfg)
+		b := mustRun(t, cfg)
+		if a.Latency != b.Latency || a.ThroughputMRPS != b.ThroughputMRPS {
+			t.Fatalf("%s: identical configs differ", kind)
+		}
+		if kind != "poisson" && a.Latency == def.Latency {
+			t.Fatalf("%s: produced the exact Poisson result — process not wired in", kind)
+		}
+		if kind == "poisson" && a.Latency != def.Latency {
+			t.Fatal("explicit poisson differs from nil default")
+		}
+	}
+}
+
+// TestArrivalRerating: a process built at the wrong rate is re-rated to the
+// config's RateMRPS, so throughput tracks the config, not the constructor.
+func TestArrivalRerating(t *testing.T) {
+	cfg := testConfig(ModeSingleQueue, workload.HERD(), 10)
+	cfg.Warmup, cfg.Measure = 500, 6000
+	cfg.Arrival = arrival.DeterministicAtMRPS(1) // 10× too slow; must be re-rated
+	res := mustRun(t, cfg)
+	if math.Abs(res.ThroughputMRPS-10)/10 > 0.05 {
+		t.Fatalf("throughput %v MRPS, want ~10 (re-rated)", res.ThroughputMRPS)
+	}
+}
+
+// TestArrivalWithoutRate: Arrival set and RateMRPS zero uses the process
+// exactly as constructed.
+func TestArrivalWithoutRate(t *testing.T) {
+	cfg := testConfig(ModeSingleQueue, workload.HERD(), 0)
+	cfg.Warmup, cfg.Measure = 500, 6000
+	cfg.Arrival = arrival.DeterministicAtMRPS(8)
+	res := mustRun(t, cfg)
+	if math.Abs(res.ThroughputMRPS-8)/8 > 0.05 {
+		t.Fatalf("throughput %v MRPS, want ~8", res.ThroughputMRPS)
 	}
 }

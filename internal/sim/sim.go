@@ -71,6 +71,13 @@ func (t Time) String() string { return fmt.Sprintf("%.3fns", t.Nanos()) }
 
 // Event is a scheduled callback. The zero value is not useful; events are
 // created by Engine.Schedule and friends.
+//
+// Fired (and cancelled) Event structs are recycled by later Schedule calls
+// through the engine's free list, so a simulation's hot loop schedules
+// without allocating. The pointer returned by Schedule is therefore only
+// meaningful until the event fires: retaining it past that point and
+// passing it to Cancel later may target an unrelated, recycled event. Hold
+// Event pointers only for events you know are still pending.
 type Event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events with equal time
@@ -118,6 +125,7 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	queue   eventQueue
+	free    []*Event // fired/cancelled events awaiting reuse
 	seq     uint64
 	fired   uint64
 	stopped bool
@@ -137,7 +145,8 @@ func (e *Engine) Pending() int { return len(e.queue) }
 
 // Schedule runs fn after delay d (relative to the current time). A negative
 // delay is treated as zero. It returns the Event, which may be passed to
-// Cancel.
+// Cancel while the event is still pending; once it fires the struct may be
+// recycled for a later Schedule (see Event), so do not retain it past then.
 func (e *Engine) Schedule(d Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
@@ -151,21 +160,32 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) is before now (%v)", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = Event{at: t, seq: e.seq, fn: fn}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
 }
 
 // Cancel removes a scheduled event. Cancelling an event that already fired or
-// was already cancelled is a no-op. It reports whether the event was actually
-// descheduled by this call.
+// was already cancelled is a no-op as long as the struct has not been
+// recycled by a later Schedule (see Event). It reports whether the event was
+// actually descheduled by this call.
 func (e *Engine) Cancel(ev *Event) bool {
 	if ev == nil || ev.dead || ev.idx < 0 {
 		return false
 	}
 	ev.dead = true
 	heap.Remove(&e.queue, ev.idx)
+	ev.fn = nil
+	e.free = append(e.free, ev)
 	return true
 }
 
@@ -183,7 +203,10 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	e.fired++
 	ev.dead = true
-	ev.fn()
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

@@ -426,6 +426,26 @@ func TestPropertyServerLindley(t *testing.T) {
 	}
 }
 
+// BenchmarkEngineSchedule measures the Schedule→fire cycle in steady state;
+// run with -benchmem to see the free list holding allocs/op at zero.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		e.Schedule(Duration(i), fn)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Duration(i&1023), fn)
+		if i&1023 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
 func BenchmarkEngineScheduleRun(b *testing.B) {
 	e := New()
 	r := rng.New(1)
@@ -448,13 +468,17 @@ func TestEventTimeAccessor(t *testing.T) {
 }
 
 // Property: interleaved Schedule/Cancel/Step sequences never violate clock
-// monotonicity and never execute a cancelled event.
+// monotonicity and never execute a cancelled event. Because fired Event
+// structs are recycled by later Schedule calls, the test tracks each
+// struct's *current occupant*: a successful Cancel always belongs to the
+// logical event most recently scheduled into that struct.
 func TestPropertyCancelNeverFires(t *testing.T) {
 	f := func(seed uint64) bool {
 		r := rng.New(seed)
 		e := New()
 		fired := map[int]bool{}
 		cancelled := map[int]bool{}
+		occupant := map[*Event]int{}
 		var evs []*Event
 		id := 0
 		for step := 0; step < 300; step++ {
@@ -462,12 +486,14 @@ func TestPropertyCancelNeverFires(t *testing.T) {
 			case 0:
 				myID := id
 				id++
-				evs = append(evs, e.Schedule(Duration(r.IntN(100)), func() { fired[myID] = true }))
+				ev := e.Schedule(Duration(r.IntN(100)), func() { fired[myID] = true })
+				occupant[ev] = myID
+				evs = append(evs, ev)
 			case 1:
 				if len(evs) > 0 {
-					i := r.IntN(len(evs))
-					if e.Cancel(evs[i]) {
-						cancelled[i] = true
+					ev := evs[r.IntN(len(evs))]
+					if e.Cancel(ev) {
+						cancelled[occupant[ev]] = true
 					}
 				}
 			case 2:
@@ -488,5 +514,23 @@ func TestPropertyCancelNeverFires(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestScheduleReusesFiredEvents: once the free list is warm, the
+// Schedule→fire cycle must not allocate at all.
+func TestScheduleReusesFiredEvents(t *testing.T) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(Duration(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Schedule(1, fn)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("Schedule allocates %v objects/op after warmup, want 0", allocs)
 	}
 }

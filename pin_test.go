@@ -1,0 +1,147 @@
+package rpcvalet_test
+
+// Pinned-result regression tests: the exact numbers below were produced by
+// the simulators *before* the arrival-process refactor (PR 2). With Arrival
+// unset, Run, RunCluster, and RunQueueModel must keep reproducing them
+// byte-for-byte — the nil-means-Poisson compatibility rule. If a change
+// legitimately alters the simulation (new RNG consumer, protocol change),
+// regenerate the pins and say so in the commit; if these fail unexpectedly,
+// determinism or compatibility broke.
+
+import (
+	"fmt"
+	"testing"
+
+	"rpcvalet"
+)
+
+// pin compares a measured float against its pre-refactor value exactly.
+func pin(t *testing.T, name string, got float64, want string) {
+	t.Helper()
+	if s := fmt.Sprintf("%.17g", got); s != want {
+		t.Errorf("%s = %s, pinned %s", name, s, want)
+	}
+}
+
+func TestPinnedMachineResult(t *testing.T) {
+	res, err := rpcvalet.Run(rpcvalet.Config{
+		Params:   rpcvalet.DefaultParams(),
+		Workload: rpcvalet.HERD(),
+		RateMRPS: 12,
+		Warmup:   200,
+		Measure:  3000,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin(t, "p50", res.Latency.P50, "533.80200000000002")
+	pin(t, "p99", res.Latency.P99, "935.976")
+	pin(t, "mean", res.Latency.Mean, "558.4071656666672")
+	pin(t, "throughput", res.ThroughputMRPS, "11.650664652936626")
+	if res.Latency.Count != 3000 {
+		t.Errorf("count = %d, pinned 3000", res.Latency.Count)
+	}
+}
+
+func TestPinnedClusterResult(t *testing.T) {
+	pol, err := rpcvalet.ClusterPolicyByName("jsq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := rpcvalet.Synthetic("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpcvalet.DefaultCluster(2, wl, pol)
+	cfg.Warmup = 200
+	cfg.Measure = 3000
+	cfg.Seed = 1
+	res, err := rpcvalet.RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin(t, "rate", res.RateMRPS, "28")
+	pin(t, "p50", res.Latency.P50, "1246.367")
+	pin(t, "p99", res.Latency.P99, "2532.9679999999998")
+	pin(t, "mean", res.Latency.Mean, "1345.7348943333366")
+	pin(t, "throughput", res.ThroughputMRPS, "27.184915274526762")
+	pin(t, "imbalance", res.Imbalance, "1.0018750000000001")
+}
+
+func TestPinnedQueueModelResult(t *testing.T) {
+	wl, err := rpcvalet.Synthetic("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rpcvalet.RunQueueModel(rpcvalet.QueueModel{
+		Queues: 16, ServersPerQueue: 1,
+		Service: wl.Classes[0].Service,
+		Load:    0.8, Warmup: 500, Measure: 5000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin(t, "p50", res.Latency.P50, "1665.4970000000001")
+	pin(t, "p99", res.Latency.P99, "10776.795")
+	pin(t, "mean", res.Latency.Mean, "2425.5924571999976")
+	pin(t, "wait mean", res.Wait.Mean, "1821.5947565999995")
+	pin(t, "throughput", res.Throughput, "0.021813549914815232")
+}
+
+// TestExplicitPoissonMatchesNil: spelling the default out as
+// ArrivalPoisson(rate) must reproduce the nil-Arrival stream exactly.
+func TestExplicitPoissonMatchesNil(t *testing.T) {
+	cfg := rpcvalet.Config{
+		Params:   rpcvalet.DefaultParams(),
+		Workload: rpcvalet.HERD(),
+		RateMRPS: 12,
+		Warmup:   200,
+		Measure:  2000,
+		Seed:     5,
+	}
+	implicit, err := rpcvalet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Arrival = rpcvalet.ArrivalPoisson(12)
+	explicit, err := rpcvalet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if implicit.Latency != explicit.Latency || implicit.ThroughputMRPS != explicit.ThroughputMRPS {
+		t.Fatal("explicit poisson differs from nil default")
+	}
+}
+
+// TestArrivalAPI exercises the root-level arrival constructors end to end.
+func TestArrivalAPI(t *testing.T) {
+	kinds := rpcvalet.ArrivalKinds()
+	if len(kinds) != 4 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for _, kind := range kinds {
+		arr, err := rpcvalet.ArrivalByName(kind, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rpcvalet.Run(rpcvalet.Config{
+			Params:   rpcvalet.DefaultParams(),
+			Workload: rpcvalet.HERD(),
+			RateMRPS: 10,
+			Arrival:  arr,
+			Warmup:   100,
+			Measure:  2000,
+			Seed:     2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Latency.Count == 0 {
+			t.Fatalf("%s: no measurements", kind)
+		}
+	}
+	if _, err := rpcvalet.ArrivalByName("bogus", 10); err == nil {
+		t.Fatal("unknown arrival kind accepted")
+	}
+}

@@ -33,11 +33,23 @@
 //
 // All simulated latencies are virtual-time measurements: the Go runtime
 // never contaminates them. Identical seeds produce identical results.
+//
+// # Arrival processes
+//
+// Every simulator accepts an optional Arrival field selecting the traffic
+// model: Poisson (the default), MMPP2 (bursty), Deterministic (fixed-gap),
+// or LognormalGap (heavy-tailed gaps). The compatibility rule is that a nil
+// Arrival means Poisson at the configured rate and reproduces byte-identical
+// result streams for existing seeds; setting Arrival changes only the shape
+// of the traffic, with the mean rate still taken from RateMRPS (or Load for
+// queueing models). Build processes with ArrivalByName or the Arrival*
+// constructors.
 package rpcvalet
 
 import (
 	"fmt"
 
+	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/core"
 	"rpcvalet/internal/machine"
@@ -93,6 +105,43 @@ func Masstree() Profile { return workload.Masstree() }
 // "exp", or "gev" — a 300 ns base plus a 300 ns (mean) distributed extra.
 func Synthetic(kind string) (Profile, error) { return workload.Synthetic(kind) }
 
+// ArrivalProcess generates the interarrival gaps of an open-loop traffic
+// stream. Set it on Config.Arrival, Cluster.Arrival, or QueueModel.Arrival
+// to replace the default Poisson stream; the process's shape is preserved
+// while its mean rate follows the configuration's RateMRPS (or Load).
+type ArrivalProcess = arrival.Process
+
+// ArrivalKinds lists the built-in arrival process names in report order:
+// "poisson", "det", "mmpp2", "lognormal".
+func ArrivalKinds() []string { return append([]string(nil), arrival.Names...) }
+
+// ArrivalByName builds a named arrival process at the given mean rate with
+// default shape parameters. See ArrivalKinds.
+func ArrivalByName(name string, rateMRPS float64) (ArrivalProcess, error) {
+	return arrival.ByName(name, rateMRPS)
+}
+
+// ArrivalPoisson returns the memoryless default arrival process at rateMRPS.
+func ArrivalPoisson(rateMRPS float64) ArrivalProcess { return arrival.PoissonAtMRPS(rateMRPS) }
+
+// ArrivalDeterministic returns fixed-gap (D/·/·) arrivals at rateMRPS.
+func ArrivalDeterministic(rateMRPS float64) ArrivalProcess {
+	return arrival.DeterministicAtMRPS(rateMRPS)
+}
+
+// ArrivalMMPP2 returns a two-state Markov-modulated Poisson process with
+// overall mean rate rateMRPS, burst rate burstRatio times the calm rate, and
+// the given mean state dwells in nanoseconds.
+func ArrivalMMPP2(rateMRPS, burstRatio, calmDwellNanos, burstDwellNanos float64) ArrivalProcess {
+	return arrival.NewMMPP2(rateMRPS, burstRatio, calmDwellNanos, burstDwellNanos)
+}
+
+// ArrivalLognormal returns heavy-tailed lognormal interarrival gaps with
+// mean rate rateMRPS and the given sigma (gap CV = sqrt(e^sigma² − 1)).
+func ArrivalLognormal(rateMRPS, sigma float64) ArrivalProcess {
+	return arrival.LognormalAtMRPS(rateMRPS, sigma)
+}
+
 // Curve is a measured latency-throughput series for one configuration.
 type Curve = core.Curve
 
@@ -147,7 +196,9 @@ func ClusterPolicies() []string { return append([]string(nil), cluster.PolicyNam
 // DefaultCluster builds a cluster of n paper-default servers serving wl
 // behind policy, with a 500 ns balancer→node hop, 70% of the estimated
 // aggregate capacity offered, and measurement sizing that matches the
-// single-node quick start. Override fields as needed before RunCluster.
+// single-node quick start. Override fields as needed before RunCluster —
+// in particular, set Arrival (e.g. via ArrivalByName) to drive the cluster
+// with non-Poisson traffic at the same aggregate rate.
 func DefaultCluster(n int, wl Profile, policy ClusterPolicy) Cluster {
 	cfg := Cluster{
 		Nodes:   n,
