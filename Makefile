@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test bench
+.PHONY: all build fmt vet test race bench
 
 all: build test
 
@@ -16,6 +16,9 @@ vet:
 
 test: fmt vet
 	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .

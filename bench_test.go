@@ -64,6 +64,7 @@ func BenchmarkFig8HardwareVsSoftware(b *testing.B) { regen(b, "8") }
 func BenchmarkFig9ModelComparison(b *testing.B)    { regen(b, "9") }
 func BenchmarkTable1Parameters(b *testing.B)       { regen(b, "table1") }
 func BenchmarkFigBurstArrivals(b *testing.B)       { regen(b, "burst") }
+func BenchmarkFigPolicyPlans(b *testing.B)         { regen(b, "policy") }
 
 // --- Ablation benchmarks (design choices called out in DESIGN.md) --------
 

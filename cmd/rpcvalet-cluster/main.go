@@ -6,17 +6,21 @@
 //
 // Usage:
 //
-//	rpcvalet-cluster [-nodes 4] [-mode 1x16] [-workload exp]
+//	rpcvalet-cluster [-nodes 4] [-mode 1x16] [-dispatch jbsq2] [-workload exp]
 //	                 [-policies random,rr,jsq2,bounded] [-arrival poisson]
 //	                 [-points 8] [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
 //	                 [-warmup 2000] [-measure 20000] [-seed 1]
 //	                 [-format text|csv|json] [-detail]
 //
 // Modes name the per-node NI dispatch model: 1x16 (RPCValet), 4x4, 16x1
-// (RSS baseline), sw (MCS software queue). Workloads: herd, masstree,
-// fixed, uniform, exp, gev. Arrivals shape the aggregate traffic: poisson
-// (default), det, mmpp2, lognormal. Loads are fractions of the cluster's
-// estimated aggregate capacity.
+// (RSS baseline), sw (MCS software queue). -dispatch overrides -mode with a
+// full dispatch plan ("1x16" | "4x4" | "16x1" | "sw" | "jbsqN" |
+// "GxM"[:policy]); a comma-separated list assigns plans node by node — a
+// heterogeneous rack — and must name one plan per node (e.g. -nodes 2
+// -dispatch 1x16,16x1). Workloads: herd, masstree, fixed, uniform, exp,
+// gev. Arrivals shape the aggregate traffic: poisson (default), det,
+// mmpp2, lognormal. Loads are fractions of the cluster's estimated
+// aggregate capacity.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	var (
 		nodes    = flag.Int("nodes", 4, "servers behind the balancer")
 		mode     = flag.String("mode", "1x16", "per-node dispatch mode: 1x16, 4x4, 16x1, sw")
+		dispatch = flag.String("dispatch", "", "dispatch plan(s), overriding -mode: one spec for all nodes, or a comma-separated per-node list")
 		wlName   = flag.String("workload", "exp", "workload: herd, masstree, fixed, uniform, exp, gev")
 		policies = flag.String("policies", strings.Join(rpcvalet.ClusterPolicies(), ","),
 			"comma-separated balancing policies (random, rr, jsqD, bounded)")
@@ -66,6 +71,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	var nodePlans []*rpcvalet.DispatchPlan
+	if *dispatch != "" {
+		specs := strings.Split(*dispatch, ",")
+		plans := make([]*rpcvalet.DispatchPlan, len(specs))
+		for i, spec := range specs {
+			pl, err := rpcvalet.ParseDispatchPlan(strings.TrimSpace(spec))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+				os.Exit(2)
+			}
+			plans[i] = pl
+		}
+		switch len(plans) {
+		case 1:
+			params.Plan = plans[0]
+		case *nodes:
+			nodePlans = plans
+		default:
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %d dispatch plans for %d nodes (want 1 or %d)\n",
+				len(plans), *nodes, *nodes)
+			os.Exit(2)
+		}
+	}
+
 	var wl rpcvalet.Profile
 	switch *wlName {
 	case "herd":
@@ -94,6 +123,7 @@ func main() {
 		}
 		cfg := rpcvalet.DefaultCluster(*nodes, wl, pol)
 		cfg.Node.Params = params
+		cfg.NodePlans = nodePlans
 		// The sweep re-rates the process to each point's aggregate rate.
 		cfg.Arrival, err = rpcvalet.ArrivalByName(*arrName, cfg.RateMRPS)
 		if err != nil {
@@ -121,8 +151,12 @@ func main() {
 		curves = append(curves, curve)
 	}
 
+	dispLabel := *mode
+	if *dispatch != "" {
+		dispLabel = *dispatch
+	}
 	fmt.Printf("# cluster: %d × %s nodes, %s workload, capacity ≈ %.1f MRPS, hop %.0f ns, seed %d\n\n",
-		*nodes, *mode, wl.Name, capacity, *hop, *seed)
+		*nodes, dispLabel, wl.Name, capacity, *hop, *seed)
 	emit := func(title string, value func(rpcvalet.ClusterPoint) float64) {
 		cols := []string{"load", "rate_mrps"}
 		for _, c := range curves {

@@ -6,9 +6,14 @@
 //
 //	rpcvalet-sim -mode 1x16 -workload herd -rate 10 [-measure 50000]
 //	             [-arrival poisson] [-threshold 2] [-seed 1]
-//	             [-format text|json]
+//	             [-dispatch jbsq2] [-format text|json]
 //
 // Modes: 1x16 (RPCValet), 4x4, 16x1 (RSS baseline), sw (MCS software queue).
+// -dispatch overrides -mode with a full dispatch plan:
+// "1x16" | "4x4" | "16x1" | "sw" | "jbsqN" | "GxM", optionally ":policy"
+// (first-available, round-robin, least-outstanding, least-outstanding-rr,
+// randomN, local) — e.g. -dispatch 1x16:least-outstanding, -dispatch
+// 2x8:random2, -dispatch jbsq1.
 // Workloads: herd, masstree, fixed, uniform, exp, gev.
 // Arrivals: poisson (default), det, mmpp2, lognormal — same mean rate,
 // different burstiness.
@@ -28,6 +33,7 @@ import (
 func main() {
 	var (
 		mode      = flag.String("mode", "1x16", "load-balancing mode: 1x16, 4x4, 16x1, sw")
+		dispatch  = flag.String("dispatch", "", "dispatch plan (overrides -mode): 1x16|4x4|16x1|sw|jbsqN|GxM[:policy]")
 		wlName    = flag.String("workload", "herd", "workload: herd, masstree, fixed, uniform, exp, gev")
 		rate      = flag.Float64("rate", 10, "offered load in MRPS")
 		arrName   = flag.String("arrival", "poisson", "arrival process: poisson, det, mmpp2, lognormal")
@@ -54,6 +60,14 @@ func main() {
 		os.Exit(2)
 	}
 	params.Threshold = *threshold
+	if *dispatch != "" {
+		pl, err := rpcvalet.ParseDispatchPlan(*dispatch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(2)
+		}
+		params.Plan = pl
+	}
 
 	var wl rpcvalet.Profile
 	switch *wlName {
@@ -101,7 +115,7 @@ func main() {
 	}
 
 	fmt.Printf("%s  workload=%s  offered=%.2f MRPS  seed=%d\n\n",
-		res.Mode, res.Workload, res.RateMRPS, res.Seed)
+		res.Dispatch, res.Workload, res.RateMRPS, res.Seed)
 
 	sum := report.NewTable("measurement", "metric", "value")
 	sum.AddRowf("throughput (MRPS)", res.ThroughputMRPS)

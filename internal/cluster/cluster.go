@@ -31,9 +31,15 @@ type Config struct {
 	// Nodes is the number of servers behind the balancer.
 	Nodes int
 	// Node is the per-node machine template: architecture, NI dispatch
-	// mode, and workload. Its RateMRPS/Warmup/Measure/Seed fields are
+	// plan, and workload. Its RateMRPS/Warmup/Measure/Seed fields are
 	// ignored — the cluster generates the traffic and the measurements.
 	Node machine.Config
+	// NodePlans, when non-empty, overrides the template's dispatch plan
+	// node by node (length must equal Nodes; nil entries keep the
+	// template's plan). This is how heterogeneous racks are built — e.g.
+	// half the nodes running RPCValet 1×16, half the RSS baseline —
+	// without duplicating the rest of the machine template.
+	NodePlans []*machine.Plan
 	// Policy routes each arriving RPC to a node. See PolicyByName.
 	Policy Policy
 	// RateMRPS is the aggregate offered load across the whole cluster, in
@@ -73,6 +79,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("cluster: negative hop latency")
 	case c.SampleEvery < 0:
 		return fmt.Errorf("cluster: negative sampling period")
+	case len(c.NodePlans) != 0 && len(c.NodePlans) != c.Nodes:
+		return fmt.Errorf("cluster: %d per-node plans for %d nodes", len(c.NodePlans), c.Nodes)
 	}
 	return nil
 }
@@ -96,6 +104,9 @@ type Result struct {
 	Imbalance float64
 	// NodeUtilization is each node's mean core busy fraction.
 	NodeUtilization []float64
+	// NodeDispatch names each node's resolved dispatch plan — uniform
+	// racks repeat one label; heterogeneous racks show the mix.
+	NodeDispatch []string
 
 	SLONanos float64 // workload SLO (absolute, or factor × estimated S̄)
 	MeetsSLO bool
@@ -174,6 +185,9 @@ func Run(cfg Config) (Result, error) {
 	for i := range nodes {
 		ncfg := cfg.Node
 		ncfg.Seed = root.Split().Uint64()
+		if len(cfg.NodePlans) > 0 && cfg.NodePlans[i] != nil {
+			ncfg.Params.Plan = cfg.NodePlans[i]
+		}
 		m, err := machine.NewShared(ncfg, eng)
 		if err != nil {
 			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -274,6 +288,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	for _, m := range nodes {
 		res.NodeUtilization = append(res.NodeUtilization, m.MeanCoreUtilization())
+		res.NodeDispatch = append(res.NodeDispatch, m.DispatchLabel())
 	}
 
 	// SLO: absolute when the workload specifies one, otherwise the SLO

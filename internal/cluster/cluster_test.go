@@ -45,14 +45,16 @@ func run(t *testing.T, cfg Config) Result {
 func TestValidation(t *testing.T) {
 	good := baseConfig(4, Random{}, 0.5)
 	cases := map[string]func(c *Config){
-		"noNodes":    func(c *Config) { c.Nodes = 0 },
-		"nilPolicy":  func(c *Config) { c.Policy = nil },
-		"zeroRate":   func(c *Config) { c.RateMRPS = 0 },
-		"noMeasure":  func(c *Config) { c.Measure = 0 },
-		"negWarmup":  func(c *Config) { c.Warmup = -1 },
-		"negHop":     func(c *Config) { c.Hop = -1 },
-		"negSample":  func(c *Config) { c.SampleEvery = -1 },
-		"badNodeCfg": func(c *Config) { c.Node.Params.Cores = 0 },
+		"noNodes":       func(c *Config) { c.Nodes = 0 },
+		"nilPolicy":     func(c *Config) { c.Policy = nil },
+		"zeroRate":      func(c *Config) { c.RateMRPS = 0 },
+		"noMeasure":     func(c *Config) { c.Measure = 0 },
+		"negWarmup":     func(c *Config) { c.Warmup = -1 },
+		"negHop":        func(c *Config) { c.Hop = -1 },
+		"negSample":     func(c *Config) { c.SampleEvery = -1 },
+		"badNodeCfg":    func(c *Config) { c.Node.Params.Cores = 0 },
+		"planCount":     func(c *Config) { c.NodePlans = []*machine.Plan{machine.PlanSingleQueue()} },
+		"badPlanGroups": func(c *Config) { c.Node.Params.Plan = &machine.Plan{Groups: 3} },
 	}
 	for name, mutate := range cases {
 		cfg := good
@@ -258,5 +260,49 @@ func TestArrivalKindsDeterministic(t *testing.T) {
 		if kind == "poisson" && a.Latency != def.Latency {
 			t.Fatal("explicit poisson differs from nil default")
 		}
+	}
+}
+
+// TestHeterogeneousRack: NodePlans mixes dispatch architectures within one
+// rack. The run must report each node's resolved plan, stay deterministic,
+// and a nil entry must keep the template's plan.
+func TestHeterogeneousRack(t *testing.T) {
+	cfg := baseConfig(4, JSQ{D: 2}, 0.6)
+	cfg.Measure = 8000
+	cfg.NodePlans = []*machine.Plan{
+		machine.PlanSingleQueue(),
+		machine.PlanPartitioned(),
+		machine.PlanJBSQ(1),
+		nil, // template default (ModeSingleQueue)
+	}
+	a := run(t, cfg)
+	want := []string{"rpcvalet-1x16", "partitioned-16x1", "jbsq1", "rpcvalet-1x16"}
+	if !reflect.DeepEqual(a.NodeDispatch, want) {
+		t.Fatalf("NodeDispatch = %v, want %v", a.NodeDispatch, want)
+	}
+	b := run(t, cfg)
+	if a.Latency != b.Latency || !reflect.DeepEqual(a.NodeCompleted, b.NodeCompleted) {
+		t.Fatal("heterogeneous rack not deterministic")
+	}
+	for i, c := range a.NodeCompleted {
+		if c == 0 {
+			t.Fatalf("node %d served nothing", i)
+		}
+	}
+}
+
+// TestNodePlansMatchUniformRun: a NodePlans array repeating the template's
+// canned plan must reproduce the plain uniform run exactly.
+func TestNodePlansMatchUniformRun(t *testing.T) {
+	cfg := baseConfig(3, JSQ{D: 2}, 0.5)
+	cfg.Measure = 6000
+	uniform := run(t, cfg)
+	cfg.NodePlans = []*machine.Plan{
+		machine.PlanSingleQueue(), machine.PlanSingleQueue(), machine.PlanSingleQueue(),
+	}
+	canned := run(t, cfg)
+	if uniform.Latency != canned.Latency ||
+		!reflect.DeepEqual(uniform.NodeCompleted, canned.NodeCompleted) {
+		t.Fatal("canned per-node plans diverge from the uniform run")
 	}
 }

@@ -329,6 +329,53 @@ func TestFigureBurstStructure(t *testing.T) {
 	}
 }
 
+// TestFigurePolicyStructure checks the dispatch-policy study's shape at tiny
+// scale: two tables per workload (curve + SLO summary) and three claims.
+func TestFigurePolicyStructure(t *testing.T) {
+	o := tinyOptions()
+	o.Points = 3
+	o.Measure = 3000
+	fig, err := Figures["policy"](o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(policyWorkloads); len(fig.Tables) != want {
+		t.Fatalf("policy tables = %d, want %d", len(fig.Tables), want)
+	}
+	for i, tbl := range fig.Tables {
+		if i%2 == 0 { // curve table: one row per rate, one p99 column per plan
+			if len(tbl.Rows) != o.Points || len(tbl.Columns) != 1+len(policyPlans) {
+				t.Fatalf("table %q shape %dx%d", tbl.Title, len(tbl.Rows), len(tbl.Columns))
+			}
+		} else if len(tbl.Rows) != len(policyPlans) {
+			t.Fatalf("summary %q rows = %d", tbl.Title, len(tbl.Rows))
+		}
+	}
+	if len(fig.Claims) != 3 {
+		t.Fatalf("policy claims = %d, want 3", len(fig.Claims))
+	}
+}
+
+// TestFigurePolicyClaims regenerates the policy study at QuickOptions scale —
+// the acceptance scale — and requires every claim to hold: occupancy
+// feedback never loses to blind dispatch, JBSQ(1) tracks the single-queue
+// ideal where the partitioned baseline collapses, and two random choices
+// recover most of the full-information gain.
+func TestFigurePolicyClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickOptions-scale regeneration")
+	}
+	fig, err := Figures["policy"](QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig.Claims {
+		if !c.Ok {
+			t.Errorf("claim failed: %s", c)
+		}
+	}
+}
+
 // TestFigureBurstClaims regenerates the burst study at QuickOptions scale —
 // the acceptance scale — and requires both claims to hold: MMPP2 punishes
 // the partitioned system disproportionately, and deterministic arrivals

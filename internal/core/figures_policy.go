@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/report"
+	"rpcvalet/internal/workload"
+)
+
+func init() {
+	register("policy", figPolicy)
+	FigureIDs = append(FigureIDs, "policy")
+}
+
+// policyPlans are the dispatch plans the policy study compares, in report
+// order: the default occupancy-feedback single queue as the reference, the
+// NI policies the plan layer unlocked on that same single queue, the strict
+// JBSQ(1) bound, and the partitioned baseline for contrast.
+var policyPlans = []string{
+	"1x16",                   // reference: least-outstanding-rr, threshold 2
+	"1x16:first-available",   // the paper's blind greedy arbiter
+	"1x16:least-outstanding", // full occupancy feedback, fixed tie-break
+	"1x16:random2",           // power-of-two-choices sampling
+	"1x16:local",             // mesh-row locality first, spill on saturation
+	"jbsq1",                  // strict single queue: at most 1 outstanding
+	"16x1",                   // partitioned RSS baseline
+}
+
+// policyWorkloads spans the service-time shapes that separate the policies:
+// fixed (no service variance — policies should not matter), GEV (heavy
+// tail — occupancy feedback should matter), and Masstree (bimodal scans —
+// blind arbitration parks gets behind 60–120µs scans).
+var policyWorkloads = []struct {
+	kind     string
+	profile  func() workload.Profile
+	lo, hi   float64
+	headline bool // workload used for the headline claims
+}{
+	{"fixed", workload.SyntheticFixed, 0.1, 0.9, false},
+	{"gev", workload.SyntheticGEV, 0.1, 0.9, true},
+	{"masstree", workload.Masstree, 0.15, 0.8, false},
+}
+
+// figPolicy is the dispatch-policy study the Mode enum could not express:
+// every plan in policyPlans × every workload shape, swept over load. It
+// checks the refactor's headline claims — occupancy feedback
+// (least-outstanding) never loses to blind first-available dispatch, and
+// the bounded JBSQ(1) plan stays near the single-queue ideal at loads where
+// the partitioned baseline has already collapsed.
+func figPolicy(o Options) (Figure, error) {
+	fig := Figure{
+		ID:    "policy",
+		Title: "Policy study: dispatch plan × workload, p99 vs load",
+	}
+
+	type key struct{ wl, plan string }
+	curves := make(map[key]Curve)
+	for _, w := range policyWorkloads {
+		wl := w.profile()
+		cap := CapacityMRPS(machine.Defaults(), wl)
+		rates := RateGrid(cap, w.lo, w.hi, o.Points)
+		for _, spec := range policyPlans {
+			pl, err := machine.ParsePlan(spec)
+			if err != nil {
+				return Figure{}, err
+			}
+			base := machineBase(o, wl, machine.ModeSingleQueue)
+			base.Params.Plan = pl
+			c, err := MachineSweep(base, rates, spec, o.Workers)
+			if err != nil {
+				return Figure{}, fmt.Errorf("policy %s/%s: %w", w.kind, spec, err)
+			}
+			curves[key{w.kind, spec}] = c
+		}
+
+		cols := []string{"rate_mrps"}
+		for _, spec := range policyPlans {
+			cols = append(cols, "p99ns_"+spec)
+		}
+		tbl := report.NewTable(fmt.Sprintf("Policy study (%s): p99 (ns) vs offered load", w.kind), cols...)
+		for i, r := range rates {
+			row := []any{r}
+			for _, spec := range policyPlans {
+				row = append(row, curves[key{w.kind, spec}].Points[i].P99)
+			}
+			tbl.AddRowf(row...)
+		}
+		sum := report.NewTable(fmt.Sprintf("Policy study (%s): throughput under SLO", w.kind),
+			"plan", "thr_under_slo_mrps")
+		for _, spec := range policyPlans {
+			sum.AddRowf(spec, curves[key{w.kind, spec}].ThroughputUnderSLO())
+		}
+		fig.Tables = append(fig.Tables, tbl, sum)
+	}
+
+	// Claim 1: occupancy feedback never loses — least-outstanding matches
+	// or beats first-available p99 at every load, on every workload, over
+	// the loads where the blind arbiter still meets its SLO (past its own
+	// saturation point both tails diverge and the comparison is vacuous).
+	worst, worstAt := 0.0, ""
+	for _, w := range policyWorkloads {
+		lo := curves[key{w.kind, "1x16:least-outstanding"}]
+		fa := curves[key{w.kind, "1x16:first-available"}]
+		for i := range fa.Points {
+			if !fa.Points[i].MeetsSLO || fa.Points[i].P99 <= 0 {
+				continue
+			}
+			if r := lo.Points[i].P99 / fa.Points[i].P99; r > worst {
+				worst, worstAt = r, fmt.Sprintf("%s @%.1fMRPS", w.kind, fa.Points[i].RateMRPS)
+			}
+		}
+	}
+	fig.Claims = append(fig.Claims, Claim{
+		Name:     "least-outstanding matches or beats first-available p99 at every load",
+		Paper:    "occupancy feedback eliminates avoidable queueing (§6.1)",
+		Measured: fmt.Sprintf("worst p99 ratio %.2f× (%s)", worst, worstAt),
+		Ok:       worst > 0 && worst <= 1.05,
+	})
+
+	// Claims 2+3 read the headline (GEV) workload at the reference plan's
+	// highest SLO-meeting load — the regime where partitioned queues have
+	// already collapsed.
+	for _, w := range policyWorkloads {
+		if !w.headline {
+			continue
+		}
+		ref := curves[key{w.kind, "1x16"}]
+		idx := -1
+		for i, p := range ref.Points {
+			if p.MeetsSLO {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			// Keep the figure's declared shape: both headline claims are
+			// present (and failed) when the reference never met its SLO.
+			fig.Claims = append(fig.Claims,
+				Claim{
+					Name:     "jbsq1 tracks the single-queue ideal where partitioned collapses",
+					Paper:    "bounded single-queue dispatch ≈ ideal (nanoPU JBSQ); RSS cannot follow",
+					Measured: "reference 1x16 never met SLO",
+				},
+				Claim{
+					Name:     "random-of-2 recovers most of the least-outstanding gain",
+					Paper:    "two choices suffice (Mitzenmacher); a cheap microcoded policy",
+					Measured: "reference 1x16 never met SLO",
+				})
+			continue
+		}
+		refP99 := ref.Points[idx].P99
+		jb := curves[key{w.kind, "jbsq1"}].Points[idx].P99
+		pt := curves[key{w.kind, "16x1"}].Points[idx].P99
+		rate := ref.Points[idx].RateMRPS
+		fig.Claims = append(fig.Claims, Claim{
+			Name:  "jbsq1 tracks the single-queue ideal where partitioned collapses",
+			Paper: "bounded single-queue dispatch ≈ ideal (nanoPU JBSQ); RSS cannot follow",
+			Measured: fmt.Sprintf("@%.1fMRPS (%s) p99: jbsq1 %.2f× vs 16x1 %.2f× the 1x16 reference",
+				rate, w.kind, safeRatio(jb, refP99), safeRatio(pt, refP99)),
+			Ok: refP99 > 0 && jb <= 1.5*refP99 && pt >= 1.5*refP99,
+		})
+
+		// Power of two choices: sampling just two occupancy counters
+		// recovers most of the gap between blind and fully informed
+		// dispatch.
+		fa := curves[key{w.kind, "1x16:first-available"}].Points[idx].P99
+		lo := curves[key{w.kind, "1x16:least-outstanding"}].Points[idx].P99
+		r2 := curves[key{w.kind, "1x16:random2"}].Points[idx].P99
+		recovered := 0.0
+		if fa > lo {
+			recovered = (fa - r2) / (fa - lo)
+		}
+		fig.Claims = append(fig.Claims, Claim{
+			Name:  "random-of-2 recovers most of the least-outstanding gain",
+			Paper: "two choices suffice (Mitzenmacher); a cheap microcoded policy",
+			Measured: fmt.Sprintf("@%.1fMRPS (%s) recovered %.0f%% of the first-available→least-outstanding p99 gap",
+				rate, w.kind, recovered*100),
+			Ok: recovered >= 0.5,
+		})
+	}
+	return fig, nil
+}

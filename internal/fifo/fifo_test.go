@@ -1,0 +1,138 @@
+package fifo
+
+import "testing"
+
+func TestEmpty(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Fatalf("zero-value Len = %d", q.Len())
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue reported ok")
+	}
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue reported ok")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 1000 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if v, ok := q.Peek(); !ok || v != 0 {
+		t.Fatalf("Peek = %d, %v", v, ok)
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop #%d = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not drained")
+	}
+}
+
+// TestInterleaved exercises the steady-state producer/consumer pattern the
+// simulator generates: pushes and pops interleave and the queue stays short,
+// so the backing slice must not grow without bound.
+func TestInterleaved(t *testing.T) {
+	q := Queue[int]{CompactAfter: 64}
+	next, want := 0, 0
+	for round := 0; round < 10000; round++ {
+		q.Push(next)
+		next++
+		if round%3 != 0 { // drain slightly slower than fill, then catch up
+			v, ok := q.Pop()
+			if !ok || v != want {
+				t.Fatalf("round %d: Pop = %d, %v (want %d)", round, v, ok, want)
+			}
+			want++
+		}
+	}
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		if v != want {
+			t.Fatalf("drain: got %d want %d", v, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("popped %d of %d pushed", want, next)
+	}
+}
+
+// TestCompactionReclaims: after consuming a long prefix the backing slice
+// must shrink back instead of retaining every element ever pushed.
+func TestCompactionReclaims(t *testing.T) {
+	q := Queue[int]{CompactAfter: 128}
+	const n = 1 << 16
+	for i := 0; i < n; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+	if q.Cap() >= n {
+		t.Fatalf("backing slice grew to %d for a queue that never exceeded depth 1", q.Cap())
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+}
+
+// TestCompactionThresholdRespected: compaction must not fire while the
+// consumed prefix is at or below CompactAfter, and must fire once the prefix
+// is past the threshold and covers half the slice.
+func TestCompactionThresholdRespected(t *testing.T) {
+	q := Queue[int]{CompactAfter: 8}
+	for i := 0; i < 9; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 8; i++ {
+		q.Pop()
+	}
+	if q.head != 8 {
+		t.Fatalf("head = %d before crossing threshold, want 8", q.head)
+	}
+	q.Push(100) // len 10, next pop makes head 9 > 8 and 9*2 >= 10
+	if v, _ := q.Pop(); v != 8 {
+		t.Fatalf("pop = %d, want 8", v)
+	}
+	if q.head != 0 {
+		t.Fatalf("head = %d after compaction, want 0", q.head)
+	}
+	if v, _ := q.Pop(); v != 100 {
+		t.Fatalf("post-compaction order broken: got %d", v)
+	}
+}
+
+// TestPointerSlotsZeroed: popped slots must not retain references.
+func TestPointerSlotsZeroed(t *testing.T) {
+	var q Queue[*int]
+	x := new(int)
+	q.Push(x)
+	q.Pop()
+	if q.buf[0] != nil {
+		t.Fatal("popped slot still holds the pointer")
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i <= DefaultCompactAfter; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < DefaultCompactAfter; i++ {
+		q.Pop()
+	}
+	if q.head == 0 {
+		t.Fatal("compacted at the threshold; must only compact past it")
+	}
+	q.Pop() // head crosses DefaultCompactAfter and covers the whole slice
+	if q.head != 0 {
+		t.Fatalf("head = %d, want compaction past the default threshold", q.head)
+	}
+}

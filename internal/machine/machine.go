@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rpcvalet/internal/arrival"
+	"rpcvalet/internal/fifo"
 	"rpcvalet/internal/ni"
 	"rpcvalet/internal/noc"
 	"rpcvalet/internal/rng"
@@ -31,32 +32,14 @@ type request struct {
 
 // core is one serving core's state.
 type core struct {
-	id       int
-	tile     noc.Coord
-	busy     bool
-	cq       []*request // private CQ: dispatched messages awaiting processing
-	head     int
+	id   int
+	tile noc.Coord
+	busy bool
+	// cq is the private completion queue: dispatched messages awaiting
+	// processing.
+	cq       fifo.Queue[*request]
 	busyTime sim.Duration // cumulative occupancy, for utilization reporting
 }
-
-func (c *core) cqPush(r *request) { c.cq = append(c.cq, r) }
-
-func (c *core) cqPop() (*request, bool) {
-	if c.head >= len(c.cq) {
-		return nil, false
-	}
-	r := c.cq[c.head]
-	c.cq[c.head] = nil
-	c.head++
-	if c.head > 256 && c.head*2 >= len(c.cq) {
-		n := copy(c.cq, c.cq[c.head:])
-		c.cq = c.cq[:n]
-		c.head = 0
-	}
-	return r, true
-}
-
-func (c *core) cqDepth() int { return len(c.cq) - c.head }
 
 // replyWaiter is a core stalled mid-completion on reply-send flow control.
 type replyWaiter struct {
@@ -68,10 +51,11 @@ type replyWaiter struct {
 // Machine is one instantiated simulation of the server. Create it with new
 // state per run; it is not reusable.
 type Machine struct {
-	p   Params
-	wl  workload.Profile
-	cfg Config
-	eng *sim.Engine
+	p    Params
+	plan execPlan // the resolved dispatch plan driving every dispatch path
+	wl   workload.Profile
+	cfg  Config
+	eng  *sim.Engine
 
 	arrRNG, srcRNG, classRNG, svcRNG, rssRNG *rng.Source
 
@@ -87,17 +71,16 @@ type Machine struct {
 	replyBuf *sonuma.SendBuffer
 	inflight map[uint64]*request
 
-	freeSlots    [][]int      // per source node: free per-pair slots
-	pendingBySrc [][]*request // arrivals blocked on slot flow control
+	freeSlots    []fifo.Queue[int]      // per source node: free per-pair slots, FIFO ring order
+	pendingBySrc []fifo.Queue[*request] // arrivals blocked on slot flow control
 
 	// Software single-queue state.
-	swQueue    []*request
-	swHead     int
+	swQueue    fifo.Queue[*request]
 	swMaxDepth int
-	idleCores  []int
+	idleCores  fifo.Queue[int]
 	lock       *sim.Server
 
-	replyWaiters map[sonuma.NodeID][]replyWaiter
+	replyWaiters []fifo.Queue[replyWaiter] // indexed by requester node
 
 	arr    arrival.Process
 	nextID uint64
@@ -190,25 +173,30 @@ func NewShared(cfg Config, eng *sim.Engine) (*Machine, error) {
 // build assembles the machine's components on the given engine.
 func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 	p := cfg.Params
+	plan, err := resolvePlan(p)
+	if err != nil {
+		return nil, err
+	}
 	root := rng.New(cfg.Seed)
 	m := &Machine{
-		p:            p,
-		wl:           cfg.Workload,
-		cfg:          cfg,
-		eng:          eng,
-		external:     external,
-		arrRNG:       root.Split(),
-		srcRNG:       root.Split(),
-		classRNG:     root.Split(),
-		svcRNG:       root.Split(),
-		rssRNG:       root.Split(),
-		inflight:     make(map[uint64]*request),
-		replyWaiters: make(map[sonuma.NodeID][]replyWaiter),
-		target:       cfg.Warmup + cfg.Measure,
-		classLat:     make([]stats.Sample, len(cfg.Workload.Classes)),
+		p:        p,
+		plan:     plan,
+		wl:       cfg.Workload,
+		cfg:      cfg,
+		eng:      eng,
+		external: external,
+		arrRNG:   root.Split(),
+		srcRNG:   root.Split(),
+		classRNG: root.Split(),
+		svcRNG:   root.Split(),
+		rssRNG:   root.Split(),
+		inflight: make(map[uint64]*request),
+		target:   cfg.Warmup + cfg.Measure,
+		classLat: make([]stats.Sample, len(cfg.Workload.Classes)),
 	}
 	m.arr = arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
 
+	m.swQueue.CompactAfter = 1024
 	for i := 0; i < p.Cores; i++ {
 		m.cores = append(m.cores, &core{id: i, tile: p.Mesh.TileCoord(i)})
 	}
@@ -219,18 +207,18 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 		m.backendTile = append(m.backendTile, noc.Coord{X: 0, Y: row})
 	}
 
-	var err error
 	if m.recvBuf, err = sonuma.NewReceiveBuffer(p.Domain); err != nil {
 		return nil, err
 	}
 	if m.replyBuf, err = sonuma.NewSendBuffer(p.Domain); err != nil {
 		return nil, err
 	}
-	m.freeSlots = make([][]int, p.Domain.Nodes)
-	m.pendingBySrc = make([][]*request, p.Domain.Nodes)
+	m.freeSlots = make([]fifo.Queue[int], p.Domain.Nodes)
+	m.pendingBySrc = make([]fifo.Queue[*request], p.Domain.Nodes)
+	m.replyWaiters = make([]fifo.Queue[replyWaiter], p.Domain.Nodes)
 	for n := range m.freeSlots {
 		for s := 0; s < p.Domain.Slots; s++ {
-			m.freeSlots[n] = append(m.freeSlots[n], s)
+			m.freeSlots[n].Push(s)
 		}
 	}
 
@@ -238,22 +226,57 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 		return nil, err
 	}
 	m.lock = sim.NewServer(m.eng)
-	if p.Mode == ModeSoftware {
+	if m.plan.software {
 		// Every core starts out idle, spinning on the shared queue.
 		for _, c := range m.cores {
-			m.idleCores = append(m.idleCores, c.id)
+			m.idleCores.Push(c.id)
 		}
 	}
 	return m, nil
 }
 
-// wireDispatchers builds the dispatcher topology for the configured mode.
+// policySeed derives the deterministic stream seed for a dispatcher's policy
+// instance. It is a pure function of the run seed and the group index —
+// independent of the root RNG's split sequence, so adding randomized
+// policies never perturbs the streams existing components draw from.
+func policySeed(runSeed uint64, group int) uint64 {
+	return (runSeed+1)*0x9e3779b97f4a7c15 ^ (uint64(group)+1)*0x94d049bb133111eb
+}
+
+// wireDispatchers builds the dispatcher topology the plan describes: the
+// cores split contiguously into plan.groups equal groups, each group's
+// dispatcher living in the NI backend serving its mesh slice, running its
+// own policy instance under the plan's outstanding threshold.
 func (m *Machine) wireDispatchers() error {
 	p := m.p
+	if m.plan.software {
+		// No hardware dispatcher; cores share the in-memory queue.
+		return nil
+	}
 	m.coreDisp = make([]int, p.Cores)
-	addDispatcher := func(cores []int, tile noc.Coord, threshold int) error {
-		policy := p.Policy
-		if policy == nil {
+	per := p.Cores / m.plan.groups
+	for g := 0; g < m.plan.groups; g++ {
+		cores := make([]int, per)
+		for i := range cores {
+			cores[i] = g*per + i
+		}
+		tile := m.backendTile[g*p.Backends/m.plan.groups]
+		var policy ni.Policy
+		switch {
+		case m.plan.policy.New != nil:
+			// Every dispatcher gets a fresh, deterministically seeded
+			// instance: policies carry state (rotation counters, RNG
+			// streams) that must not be entangled across groups.
+			policy = m.plan.policy.New(ni.Group{
+				Index:     g,
+				Cores:     cores,
+				Row:       tile.Y,
+				MeshWidth: p.Mesh.Width,
+				Seed:      policySeed(m.cfg.Seed, g),
+			})
+		case p.Policy != nil:
+			policy = p.Policy
+		default:
 			// Default to occupancy-feedback dispatch: idle cores first,
 			// rotating among equals. With the outstanding threshold at 2
 			// a blind arbiter would queue requests behind long-running
@@ -262,53 +285,18 @@ func (m *Machine) wireDispatchers() error {
 			// carries rotation state.
 			policy = &ni.LeastOutstandingRR{}
 		}
-		d, err := ni.NewDispatcher(cores, threshold, policy)
+		d, err := ni.NewDispatcher(cores, m.plan.threshold, policy)
 		if err != nil {
 			return err
 		}
-		idx := len(m.dispatchers)
 		m.dispatchers = append(m.dispatchers, d)
 		m.dispServer = append(m.dispServer, sim.NewServer(m.eng))
 		m.dispTile = append(m.dispTile, tile)
 		for _, c := range cores {
-			m.coreDisp[c] = idx
+			m.coreDisp[c] = g
 		}
-		return nil
 	}
-	switch p.Mode {
-	case ModeSingleQueue:
-		all := make([]int, p.Cores)
-		for i := range all {
-			all[i] = i
-		}
-		return addDispatcher(all, m.backendTile[0], p.Threshold)
-	case ModeGrouped:
-		per := p.Cores / p.Backends
-		for b := 0; b < p.Backends; b++ {
-			group := make([]int, per)
-			for i := range group {
-				group[i] = b*per + i
-			}
-			if err := addDispatcher(group, m.backendTile[b], p.Threshold); err != nil {
-				return err
-			}
-		}
-		return nil
-	case ModePartitioned:
-		// One logical dispatcher per core, living in the backend that
-		// receives the message; no outstanding limit (pure FIFO queue).
-		for c := 0; c < p.Cores; c++ {
-			b := c * p.Backends / p.Cores
-			if err := addDispatcher([]int{c}, m.backendTile[b], ni.Unlimited); err != nil {
-				return err
-			}
-		}
-		return nil
-	case ModeSoftware:
-		// No hardware dispatcher; cores share the in-memory queue.
-		return nil
-	}
-	return fmt.Errorf("machine: unhandled mode %v", p.Mode)
+	return nil
 }
 
 // record emits a lifecycle event to the configured tracer, if any.
@@ -375,9 +363,9 @@ func (m *Machine) inject(onDone func(class int, measured bool)) {
 	}
 	m.nextID++
 	m.inflight[req.id] = req
-	if len(m.freeSlots[src]) == 0 {
+	if m.freeSlots[src].Len() == 0 {
 		m.blockedArrivals++
-		m.pendingBySrc[src] = append(m.pendingBySrc[src], req)
+		m.pendingBySrc[src].Push(req)
 		return
 	}
 	m.admit(req)
@@ -387,6 +375,10 @@ func (m *Machine) inject(onDone func(class int, measured bool)) {
 // but not yet completed — the queue-depth signal a cluster-level balancer
 // samples when comparing nodes.
 func (m *Machine) InFlight() int { return len(m.inflight) }
+
+// DispatchLabel names the resolved dispatch plan driving this machine
+// ("rpcvalet-1x16", "jbsq2", "plan-2x8/random2", ...).
+func (m *Machine) DispatchLabel() string { return m.plan.label }
 
 // MeanCoreUtilization reports the average busy fraction across the serving
 // cores, measured against the engine's current clock.
@@ -407,9 +399,11 @@ func (m *Machine) MeanCoreUtilization() float64 {
 // (§4.2's per-destination head/tail pointers); this also spreads messages
 // evenly over the address-interleaved NI backends.
 func (m *Machine) admit(req *request) {
-	free := m.freeSlots[req.src]
-	req.pairSlot = free[0]
-	m.freeSlots[req.src] = free[1:]
+	slot, ok := m.freeSlots[req.src].Pop()
+	if !ok {
+		panic(fmt.Sprintf("machine: admit from node %d with no free slot", req.src))
+	}
+	req.pairSlot = slot
 	req.slot = m.p.Domain.RecvSlotIndex(req.src, req.pairSlot)
 
 	b := req.slot % len(m.backends)
@@ -465,9 +459,9 @@ func (m *Machine) ingest(req *request, b int, size int) {
 }
 
 // routeCompletion forwards a message-completion token from backend b to the
-// dispatch mechanism of the configured mode.
+// dispatch mechanism the plan selects.
 func (m *Machine) routeCompletion(req *request, b int) {
-	if m.p.Mode == ModeSoftware {
+	if m.plan.software {
 		// The NI appends directly to the shared in-memory queue.
 		wire := m.p.CQEDeliver + m.p.Mem.LLC(2, m.p.Mesh.HopLatency())
 		m.eng.Schedule(wire, func() { m.swEnqueue(req) })
@@ -485,20 +479,18 @@ func (m *Machine) routeCompletion(req *request, b int) {
 	})
 }
 
-// dispatcherFor picks the dispatcher index for a completion token.
+// dispatcherFor picks the dispatcher index for a completion token, per the
+// plan's routing: RSS statically assigns the message (flow hash or uniform
+// draw); local routing forwards to the dispatcher co-located with the
+// receiving backend's mesh slice.
 func (m *Machine) dispatcherFor(req *request, b int) int {
-	switch m.p.Mode {
-	case ModeSingleQueue:
-		return 0
-	case ModeGrouped:
-		return b
-	case ModePartitioned:
+	if m.plan.route == RouteRSS {
 		if m.p.RSSByFlow {
-			return ni.RSSQueue(uint64(req.src), m.p.Cores)
+			return ni.RSSQueue(uint64(req.src), m.plan.groups)
 		}
-		return m.rssRNG.IntN(m.p.Cores)
+		return m.rssRNG.IntN(m.plan.groups)
 	}
-	panic("machine: dispatcherFor in software mode")
+	return b * m.plan.groups / m.p.Backends
 }
 
 // deliver carries a dispatch decision to the chosen core's private CQ.
@@ -511,7 +503,7 @@ func (m *Machine) deliver(di int, d ni.Dispatch) {
 	m.record(req.id, trace.PhaseDispatch, d.Core)
 	wire := m.p.Mesh.Latency(m.dispTile[di], c.tile, ctrlBytes) + m.p.CQEDeliver
 	m.eng.Schedule(wire, func() {
-		c.cqPush(req)
+		c.cq.Push(req)
 		if !c.busy {
 			// The core was spinning on its CQ; it notices after a
 			// fraction of a poll iteration.
@@ -525,7 +517,7 @@ func (m *Machine) deliver(di int, d ni.Dispatch) {
 // it rolls directly from the previous request (the threshold-2 case that
 // eliminates the execution bubble, §4.3).
 func (m *Machine) begin(c *core, pollDelay sim.Duration) {
-	req, ok := c.cqPop()
+	req, ok := c.cq.Pop()
 	if !ok {
 		panic(fmt.Sprintf("machine: core %d began with empty CQ", c.id))
 	}
@@ -545,7 +537,7 @@ func (m *Machine) finish(c *core, req *request, svcStart sim.Time) {
 	slot, ok := m.replyBuf.Acquire(req.src, req.id, m.wl.ReplyBytes)
 	if !ok {
 		m.replyStalls++
-		m.replyWaiters[req.src] = append(m.replyWaiters[req.src], replyWaiter{c, req, svcStart})
+		m.replyWaiters[req.src].Push(replyWaiter{c, req, svcStart})
 		return
 	}
 	m.complete(c, req, svcStart, slot)
@@ -592,9 +584,7 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 			if err := m.replyBuf.Release(src, replySlot); err != nil {
 				panic(fmt.Sprintf("machine: reply credit return: %v", err))
 			}
-			if ws := m.replyWaiters[src]; len(ws) > 0 {
-				w := ws[0]
-				m.replyWaiters[src] = ws[1:]
+			if w, ok := m.replyWaiters[src].Pop(); ok {
 				s, ok := m.replyBuf.Acquire(src, w.req.id, m.wl.ReplyBytes)
 				if !ok {
 					panic("machine: freed reply slot immediately unavailable")
@@ -612,16 +602,14 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 	delete(m.inflight, req.id)
 	pairSlot := req.pairSlot
 	m.eng.Schedule(m.p.NetRTT/2, func() {
-		m.freeSlots[src] = append(m.freeSlots[src], pairSlot)
-		if pend := m.pendingBySrc[src]; len(pend) > 0 {
-			next := pend[0]
-			m.pendingBySrc[src] = pend[1:]
+		m.freeSlots[src].Push(pairSlot)
+		if next, ok := m.pendingBySrc[src].Pop(); ok {
 			m.admit(next)
 		}
 	})
 
 	// Tell the dispatcher this core finished one request.
-	if m.p.Mode != ModeSoftware {
+	if !m.plan.software {
 		di := m.coreDisp[c.id]
 		wire := m.p.WQERead + m.p.Mesh.Latency(c.tile, m.dispTile[di], ctrlBytes) + m.p.DispatchExtra
 		m.eng.Schedule(wire, func() {
@@ -635,9 +623,9 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 
 	// The core rolls onto queued work, or goes idle.
 	c.busy = false
-	if c.cqDepth() > 0 {
+	if c.cq.Len() > 0 {
 		m.begin(c, 0)
-	} else if m.p.Mode == ModeSoftware {
+	} else if m.plan.software {
 		m.swIdle(c)
 	}
 }
@@ -647,8 +635,8 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 // swEnqueue appends a message to the shared in-memory queue and pairs it
 // with an idle core if one is waiting.
 func (m *Machine) swEnqueue(req *request) {
-	m.swQueue = append(m.swQueue, req)
-	if d := m.swDepth(); d > m.swMaxDepth {
+	m.swQueue.Push(req)
+	if d := m.swQueue.Len(); d > m.swMaxDepth {
 		m.swMaxDepth = d
 	}
 	m.swTryPair()
@@ -656,7 +644,7 @@ func (m *Machine) swEnqueue(req *request) {
 
 // swIdle registers a core as idle and hungry for work.
 func (m *Machine) swIdle(c *core) {
-	m.idleCores = append(m.idleCores, c.id)
+	m.idleCores.Push(c.id)
 	m.swTryPair()
 }
 
@@ -666,10 +654,9 @@ func (m *Machine) swIdle(c *core) {
 // handoff when it is not — the contention that caps the software design's
 // throughput (§6.2).
 func (m *Machine) swTryPair() {
-	for m.swDepth() > 0 && len(m.idleCores) > 0 {
-		req := m.swPop()
-		coreID := m.idleCores[0]
-		m.idleCores = m.idleCores[1:]
+	for m.swQueue.Len() > 0 && m.idleCores.Len() > 0 {
+		req, _ := m.swQueue.Pop()
+		coreID, _ := m.idleCores.Pop()
 		c := m.cores[coreID]
 		c.busy = true // waiting on the lock counts as unavailable
 		cost := m.p.LockCrit
@@ -680,23 +667,9 @@ func (m *Machine) swTryPair() {
 		}
 		m.record(req.id, trace.PhaseDispatch, coreID)
 		m.lock.Submit(cost, func() {
-			c.cqPush(req)
+			c.cq.Push(req)
 			c.busy = false
 			m.begin(c, 0)
 		})
 	}
-}
-
-func (m *Machine) swDepth() int { return len(m.swQueue) - m.swHead }
-
-func (m *Machine) swPop() *request {
-	r := m.swQueue[m.swHead]
-	m.swQueue[m.swHead] = nil
-	m.swHead++
-	if m.swHead > 1024 && m.swHead*2 >= len(m.swQueue) {
-		n := copy(m.swQueue, m.swQueue[m.swHead:])
-		m.swQueue = m.swQueue[:n]
-		m.swHead = 0
-	}
-	return r
 }

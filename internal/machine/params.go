@@ -24,7 +24,10 @@ import (
 	"rpcvalet/internal/sonuma"
 )
 
-// Mode selects the load-balancing configuration under test (§6).
+// Mode selects one of the paper's four evaluated configurations (§6). Modes
+// are now a facade: each resolves to a canned dispatch Plan (PlanForMode)
+// with byte-identical results, and Params.Plan expresses everything in
+// between (JBSQ(n), 2×8 groupings, per-dispatcher policies, ...).
 type Mode int
 
 const (
@@ -69,9 +72,13 @@ type Params struct {
 	Mem    mem.Hierarchy
 	Domain sonuma.DomainConfig // messaging domain: cluster size, slots, MTU
 
+	// Mode names a canned dispatch architecture; Plan, when non-nil, takes
+	// precedence and describes the architecture declaratively (grouping ×
+	// policy × outstanding threshold × queue placement). See Plan.
 	Mode      Mode
+	Plan      *Plan
 	Threshold int       // outstanding requests per core (§4.3; paper default 2)
-	Policy    ni.Policy // dispatch policy; nil = greedy first-available
+	Policy    ni.Policy // dispatch policy shared by all dispatchers; nil = per-dispatcher default (ni.LeastOutstandingRR). Prefer Plan.Policy, which gives each dispatcher a fresh instance.
 
 	// RSSByFlow makes ModePartitioned key its static hash on the source
 	// node (true flow affinity, like real RSS). When false, each message
@@ -175,6 +182,9 @@ func (p Params) Validate() error {
 	if p.Mem.BlockBytes != p.Domain.MTU {
 		return fmt.Errorf("machine: cache block (%dB) and MTU (%dB) must agree in soNUMA",
 			p.Mem.BlockBytes, p.Domain.MTU)
+	}
+	if p.Plan != nil {
+		return p.Plan.validate(p)
 	}
 	return nil
 }

@@ -8,6 +8,10 @@ import (
 
 // Result is the measured outcome of one machine run.
 type Result struct {
+	// Dispatch names the dispatch plan that ran ("rpcvalet-1x16", "jbsq2",
+	// "plan-2x8/random2", ...). Mode is the legacy enum and is meaningful
+	// only when the run was configured through it; Dispatch is always set.
+	Dispatch string
 	Mode     Mode
 	Workload string
 	RateMRPS float64 // offered load
@@ -37,12 +41,13 @@ type Result struct {
 
 func (r Result) String() string {
 	return fmt.Sprintf("%s/%s @%.2fMRPS: thr=%.2fMRPS p99=%.0fns slo=%.0fns meets=%v",
-		r.Mode, r.Workload, r.RateMRPS, r.ThroughputMRPS, r.Latency.P99, r.SLONanos, r.MeetsSLO)
+		r.Dispatch, r.Workload, r.RateMRPS, r.ThroughputMRPS, r.Latency.P99, r.SLONanos, r.MeetsSLO)
 }
 
 // result assembles the Result after the engine stops.
 func (m *Machine) result() Result {
 	r := Result{
+		Dispatch:     m.plan.label,
 		Mode:         m.p.Mode,
 		Workload:     m.wl.Name,
 		RateMRPS:     m.cfg.RateMRPS,

@@ -23,6 +23,7 @@ package ni
 import (
 	"fmt"
 
+	"rpcvalet/internal/fifo"
 	"rpcvalet/internal/sonuma"
 )
 
@@ -165,8 +166,7 @@ type Dispatcher struct {
 	threshold   int
 	policy      Policy
 
-	queue     []Msg // shared CQ (FIFO); unbounded, naturally limited by N×S flow control
-	head      int
+	queue     fifo.Queue[Msg] // shared CQ; unbounded, naturally limited by N×S flow control
 	maxDepth  int
 	enqueued  uint64
 	delivered uint64
@@ -192,6 +192,7 @@ func NewDispatcher(cores []int, threshold int, policy Policy) (*Dispatcher, erro
 		outstanding: make([]int, len(cores)),
 		threshold:   threshold,
 		policy:      policy,
+		queue:       fifo.Queue[Msg]{CompactAfter: 1024},
 	}
 	for i, c := range cores {
 		if _, dup := d.indexOf[c]; dup {
@@ -220,7 +221,7 @@ func (d *Dispatcher) mustIndex(core int) int {
 }
 
 // QueueDepth reports the current shared-CQ depth.
-func (d *Dispatcher) QueueDepth() int { return len(d.queue) - d.head }
+func (d *Dispatcher) QueueDepth() int { return d.queue.Len() }
 
 // MaxQueueDepth reports the highest shared-CQ depth observed.
 func (d *Dispatcher) MaxQueueDepth() int { return d.maxDepth }
@@ -228,7 +229,7 @@ func (d *Dispatcher) MaxQueueDepth() int { return d.maxDepth }
 // Enqueue accepts a message-completion token into the shared CQ and returns
 // the dispatch it triggers, if any core is below threshold.
 func (d *Dispatcher) Enqueue(m Msg) (Dispatch, bool) {
-	d.queue = append(d.queue, m)
+	d.queue.Push(m)
 	d.enqueued++
 	if depth := d.QueueDepth(); depth > d.maxDepth {
 		d.maxDepth = depth
@@ -264,25 +265,16 @@ func (d *Dispatcher) tryDispatch() (Dispatch, bool) {
 	if len(avail) == 0 {
 		return Dispatch{}, false
 	}
-	core := d.policy.Pick(d.queue[d.head], avail, availOut)
+	head, _ := d.queue.Peek()
+	core := d.policy.Pick(head, avail, availOut)
 	i, ok := d.indexOf[core]
 	if !ok || d.outstanding[i] >= d.threshold {
 		panic(fmt.Sprintf("ni: policy %s picked unavailable core %d", d.policy, core))
 	}
-	m := d.queue[d.head]
-	d.head++
-	d.compact()
+	m, _ := d.queue.Pop()
 	d.outstanding[i]++
 	d.delivered++
 	return Dispatch{Core: core, Msg: m}, true
-}
-
-func (d *Dispatcher) compact() {
-	if d.head > 1024 && d.head*2 >= len(d.queue) {
-		n := copy(d.queue, d.queue[d.head:])
-		d.queue = d.queue[:n]
-		d.head = 0
-	}
 }
 
 // Stats reports lifetime counters: messages enqueued and delivered.

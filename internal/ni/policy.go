@@ -1,0 +1,175 @@
+package ni
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rpcvalet/internal/rng"
+)
+
+// This file holds the declarative side of the dispatch-policy layer: the
+// parameterized policies beyond the simple arbiters in ni.go, and the Spec
+// registry that lets a dispatch plan name a policy ("least-outstanding",
+// "random2", "local", ...) and have each dispatcher receive its own fresh,
+// deterministically seeded instance. Policies carry state (rotation
+// counters, RNG streams), so sharing one instance across dispatchers would
+// entangle their decisions; Spec.New exists to prevent exactly that.
+
+// Group describes the dispatcher a policy instance will serve: its index
+// within the machine, its core IDs, and enough mesh geometry for
+// locality-aware policies. Seed is a per-dispatcher deterministic stream
+// seed for randomized policies — derived from the run seed and the group
+// index, so identical configurations reproduce identical dispatch decisions.
+type Group struct {
+	Index     int   // dispatcher index within the machine
+	Cores     []int // core IDs in this dispatcher's group
+	Row       int   // mesh row of the dispatcher's tile
+	MeshWidth int   // mesh width, for the core ID → row mapping
+	Seed      uint64
+}
+
+// Spec names a dispatch policy and builds fresh instances per dispatcher.
+// The zero Spec means "default": the machine falls back to its historical
+// occupancy-feedback arbiter (LeastOutstandingRR).
+type Spec struct {
+	Name string
+	New  func(Group) Policy
+}
+
+// PolicyNames lists the built-in policy names in report order. randomN is
+// accepted for any N ≥ 2 ("random2", "random3", ...); the canonical list
+// shows the power-of-two-choices instance.
+var PolicyNames = []string{
+	"first-available",
+	"round-robin",
+	"least-outstanding",
+	"least-outstanding-rr",
+	"random2",
+	"local",
+}
+
+// SpecByName resolves a policy name to its Spec. Accepted names are those in
+// PolicyNames, with "randomN" generalized to any N ≥ 2.
+func SpecByName(name string) (Spec, error) {
+	switch name {
+	case "first-available":
+		return Spec{Name: name, New: func(Group) Policy { return FirstAvailable{} }}, nil
+	case "round-robin":
+		return Spec{Name: name, New: func(Group) Policy { return &RoundRobin{} }}, nil
+	case "least-outstanding":
+		return Spec{Name: name, New: func(Group) Policy { return LeastOutstanding{} }}, nil
+	case "least-outstanding-rr":
+		return Spec{Name: name, New: func(Group) Policy { return &LeastOutstandingRR{} }}, nil
+	case "local":
+		return Spec{Name: name, New: func(g Group) Policy {
+			return &LocalFirst{HomeRow: g.Row, MeshWidth: g.MeshWidth}
+		}}, nil
+	}
+	if d, ok := strings.CutPrefix(name, "random"); ok {
+		n, err := strconv.Atoi(d)
+		if err != nil || n < 2 {
+			return Spec{}, fmt.Errorf("ni: bad random-of-d policy %q (want random2, random3, ...)", name)
+		}
+		return Spec{Name: name, New: func(g Group) Policy { return NewRandomOfD(n, g.Seed) }}, nil
+	}
+	return Spec{}, fmt.Errorf("ni: unknown dispatch policy %q (have %s)",
+		name, strings.Join(PolicyNames, ", "))
+}
+
+// RandomOfD is the power-of-d-choices arbiter: sample d distinct available
+// cores uniformly at random (all of them when d ≥ the available count) and
+// hand the message to the least-outstanding of the sample. d=2 captures
+// most of the full least-outstanding benefit while probing only two
+// occupancy counters — the classic Mitzenmacher result, and a plausible
+// microcoded NI policy.
+type RandomOfD struct {
+	D   int
+	rng *rng.Source
+
+	scratch []int // reusable index buffer for without-replacement sampling
+}
+
+// NewRandomOfD builds a power-of-d-choices policy with its own
+// deterministic stream.
+func NewRandomOfD(d int, seed uint64) *RandomOfD {
+	if d < 2 {
+		panic(fmt.Sprintf("ni: RandomOfD needs d >= 2, got %d", d))
+	}
+	return &RandomOfD{D: d, rng: rng.New(seed)}
+}
+
+// Pick implements Policy.
+func (p *RandomOfD) Pick(_ Msg, available []int, outstanding []int) int {
+	n := len(available)
+	if n == 1 {
+		return available[0]
+	}
+	if p.D >= n {
+		// The sample covers every available core: full least-outstanding,
+		// no randomness needed.
+		best := 0
+		for i := 1; i < n; i++ {
+			if outstanding[i] < outstanding[best] {
+				best = i
+			}
+		}
+		return available[best]
+	}
+	// Partial Fisher–Yates over an index scratch buffer: the first D
+	// positions become a uniform without-replacement sample.
+	if cap(p.scratch) < n {
+		p.scratch = make([]int, n)
+	}
+	idx := p.scratch[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	best := -1
+	for k := 0; k < p.D; k++ {
+		j := k + p.rng.IntN(n-k)
+		idx[k], idx[j] = idx[j], idx[k]
+		if c := idx[k]; best == -1 || outstanding[c] < outstanding[best] {
+			best = c
+		}
+	}
+	return available[best]
+}
+
+func (p *RandomOfD) String() string { return fmt.Sprintf("random%d", p.D) }
+
+// LocalFirst prefers cores on the dispatcher's own mesh row — the cores a
+// CQE reaches in X-dimension hops only, without crossing rows — and falls
+// back to the whole group when the home row is saturated. Within either set
+// it picks the least-outstanding core (lowest ID on ties). This is the
+// paper's "certain types of RPCs serviced by specific cores" sketch turned
+// into a topology policy: it trades some balancing freedom for shorter
+// dispatcher→core delivery paths.
+type LocalFirst struct {
+	HomeRow   int // mesh row of the dispatcher's tile
+	MeshWidth int // core ID → row mapping: row = id / MeshWidth
+}
+
+// Pick implements Policy.
+func (p LocalFirst) Pick(_ Msg, available []int, outstanding []int) int {
+	best := -1
+	for i, c := range available {
+		if c/p.MeshWidth != p.HomeRow {
+			continue
+		}
+		if best == -1 || outstanding[i] < outstanding[best] {
+			best = i
+		}
+	}
+	if best == -1 { // home row saturated (or not in this group): any core
+		best = 0
+		for i := 1; i < len(available); i++ {
+			if outstanding[i] < outstanding[best] {
+				best = i
+			}
+		}
+	}
+	return available[best]
+}
+
+func (p LocalFirst) String() string { return fmt.Sprintf("local(row %d)", p.HomeRow) }

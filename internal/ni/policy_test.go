@@ -1,0 +1,130 @@
+package ni
+
+import (
+	"testing"
+)
+
+func TestSpecByNameKnown(t *testing.T) {
+	for _, name := range PolicyNames {
+		s, err := SpecByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name != name || s.New == nil {
+			t.Fatalf("%s: spec %+v", name, s)
+		}
+		p := s.New(Group{Index: 0, Cores: []int{0, 1, 2, 3}, Row: 1, MeshWidth: 4, Seed: 7})
+		if p == nil {
+			t.Fatalf("%s: nil policy", name)
+		}
+		// Every policy must pick from the available set.
+		got := p.Pick(Msg{}, []int{4, 5, 6, 7}, []int{1, 0, 1, 1})
+		if got < 4 || got > 7 {
+			t.Fatalf("%s: picked %d outside available set", name, got)
+		}
+	}
+}
+
+func TestSpecByNameRandomN(t *testing.T) {
+	for _, name := range []string{"random2", "random3", "random16"} {
+		if _, err := SpecByName(name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	for _, name := range []string{"random", "random1", "random0", "randomx", "bogus"} {
+		if _, err := SpecByName(name); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+// TestRandomOfDPrefersShorter: with a large d the sample almost surely
+// covers the least-loaded core, so over many trials the shortest queue must
+// dominate the picks; determinism must hold for equal seeds.
+func TestRandomOfDPrefersShorter(t *testing.T) {
+	avail := []int{0, 1, 2, 3}
+	out := []int{3, 3, 0, 3}
+	a, b := NewRandomOfD(4, 42), NewRandomOfD(4, 42)
+	hits := 0
+	for i := 0; i < 1000; i++ {
+		pa, pb := a.Pick(Msg{}, avail, out), b.Pick(Msg{}, avail, out)
+		if pa != pb {
+			t.Fatal("equal seeds diverged")
+		}
+		if pa == 2 {
+			hits++
+		}
+	}
+	if hits < 600 {
+		t.Fatalf("least-loaded core picked only %d/1000 times with d=4", hits)
+	}
+	if NewRandomOfD(2, 1).Pick(Msg{}, []int{9}, []int{0}) != 9 {
+		t.Fatal("single available core not picked")
+	}
+}
+
+func TestRandomOfDRejectsD1(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d=1 accepted")
+		}
+	}()
+	NewRandomOfD(1, 0)
+}
+
+// TestLocalFirstPrefersHomeRow: cores on the dispatcher's mesh row win while
+// any of them are available; off-row cores are the spillover.
+func TestLocalFirstPrefersHomeRow(t *testing.T) {
+	// MeshWidth 4: row 1 is cores 4-7.
+	p := LocalFirst{HomeRow: 1, MeshWidth: 4}
+	// Home-row core available with higher occupancy than an off-row core:
+	// locality wins, and within the row the least-outstanding core wins.
+	got := p.Pick(Msg{}, []int{0, 4, 5, 12}, []int{0, 1, 2, 0})
+	if got != 4 {
+		t.Fatalf("picked %d, want home-row core 4", got)
+	}
+	// Home row saturated: least-outstanding anywhere.
+	got = p.Pick(Msg{}, []int{0, 12, 13}, []int{1, 0, 1})
+	if got != 12 {
+		t.Fatalf("picked %d, want least-outstanding fallback 12", got)
+	}
+}
+
+func TestNewPolicyStrings(t *testing.T) {
+	cases := map[string]Policy{
+		"random2":      NewRandomOfD(2, 0),
+		"local(row 3)": LocalFirst{HomeRow: 3, MeshWidth: 4},
+	}
+	for want, p := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// TestDispatcherWithBoundedPolicyQueue: a dispatcher driving LeastOutstanding
+// under threshold 1 behaves as strict JBSQ(1) — never more than one
+// outstanding per core.
+func TestDispatcherJBSQ1Bound(t *testing.T) {
+	d, err := NewDispatcher([]int{0, 1, 2}, 1, LeastOutstanding{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dispatched := 0
+	for i := 0; i < 6; i++ {
+		if _, ok := d.Enqueue(Msg{Tag: uint64(i)}); ok {
+			dispatched++
+		}
+	}
+	if dispatched != 3 {
+		t.Fatalf("dispatched %d of 6 with 3 cores at threshold 1", dispatched)
+	}
+	for _, c := range []int{0, 1, 2} {
+		if d.Outstanding(c) != 1 {
+			t.Fatalf("core %d outstanding %d, want 1", c, d.Outstanding(c))
+		}
+	}
+	if _, ok := d.Complete(0); !ok {
+		t.Fatal("completion did not trigger the queued dispatch")
+	}
+}

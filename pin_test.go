@@ -44,6 +44,51 @@ func TestPinnedMachineResult(t *testing.T) {
 	}
 }
 
+// TestPinnedModesThroughPlans pins all four legacy modes — values produced
+// by the pre-plan-refactor simulator — and requires the new dispatch-plan
+// layer to reproduce them byte-for-byte through BOTH configuration paths:
+// the legacy Mode enum and the canned plan PlanForMode returns. If a change
+// legitimately alters a mode's stream, regenerate these pins and say so in
+// the commit.
+func TestPinnedModesThroughPlans(t *testing.T) {
+	pins := map[rpcvalet.Mode]struct{ p50, p99, mean, thr string }{
+		rpcvalet.ModeSingleQueue: {"533.67999999999995", "931.61099999999999", "558.33773333333386", "3.8826925102546874"},
+		rpcvalet.ModeGrouped:     {"529.351", "927.53300000000002", "554.17760633333376", "3.8827226711447866"},
+		rpcvalet.ModePartitioned: {"546.61000000000001", "1204.229", "596.86514033333344", "3.884789642047684"},
+		rpcvalet.ModeSoftware:    {"762.16499999999996", "1898.097", "860.30818100000124", "3.8833932536552886"},
+	}
+	for mode, want := range pins {
+		run := func(path string, mutate func(*rpcvalet.Params)) {
+			p := rpcvalet.DefaultParams()
+			mutate(&p)
+			res, err := rpcvalet.Run(rpcvalet.Config{
+				Params:   p,
+				Workload: rpcvalet.HERD(),
+				RateMRPS: 4,
+				Warmup:   200,
+				Measure:  3000,
+				Seed:     1,
+			})
+			if err != nil {
+				t.Fatalf("%v via %s: %v", mode, path, err)
+			}
+			name := fmt.Sprintf("%v via %s", mode, path)
+			pin(t, name+" p50", res.Latency.P50, want.p50)
+			pin(t, name+" p99", res.Latency.P99, want.p99)
+			pin(t, name+" mean", res.Latency.Mean, want.mean)
+			pin(t, name+" throughput", res.ThroughputMRPS, want.thr)
+		}
+		run("mode", func(p *rpcvalet.Params) { p.Mode = mode })
+		run("plan", func(p *rpcvalet.Params) {
+			pl, err := rpcvalet.PlanForMode(mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Plan = pl
+		})
+	}
+}
+
 func TestPinnedClusterResult(t *testing.T) {
 	pol, err := rpcvalet.ClusterPolicyByName("jsq2")
 	if err != nil {

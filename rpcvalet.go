@@ -44,6 +44,19 @@
 // of the traffic, with the mean rate still taken from RateMRPS (or Load for
 // queueing models). Build processes with ArrivalByName or the Arrival*
 // constructors.
+//
+// # Dispatch plans
+//
+// The NI dispatch stage is a policy point (§4.3): the paper's four
+// evaluated configurations are canned instances of a declarative
+// DispatchPlan — core grouping × dispatch policy × outstanding threshold ×
+// hardware-vs-software queue placement. Set Params.Plan to go beyond the
+// legacy Mode enum: JBSQ(n) bounded-outstanding dispatch (rpcvalet.JBSQ),
+// alternate groupings ("2x8"), and per-dispatcher policies
+// ("least-outstanding", "random2", "local", ...). A nil Plan means the
+// canned plan for Params.Mode, byte-for-byte reproducing historical result
+// streams. Build plans with ParseDispatchPlan or the machine constructors;
+// Cluster.NodePlans assigns plans node by node for heterogeneous racks.
 package rpcvalet
 
 import (
@@ -53,6 +66,7 @@ import (
 	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/core"
 	"rpcvalet/internal/machine"
+	"rpcvalet/internal/ni"
 	"rpcvalet/internal/queueing"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/workload"
@@ -77,6 +91,46 @@ const (
 
 // Params are the architectural parameters of the modeled server.
 type Params = machine.Params
+
+// DispatchPlan declaratively describes the NI dispatch architecture: core
+// grouping × policy × outstanding threshold × hardware-vs-software queue
+// placement. Set it on Params.Plan (it overrides Mode) or per node via
+// Cluster.NodePlans. The four legacy modes are canned plans; JBSQ and
+// ParseDispatchPlan build the rest.
+type DispatchPlan = machine.Plan
+
+// DispatchPolicy selects which available core a dispatcher hands the head
+// message to — the paper's "sophisticated, even microcoded, policies" hook.
+// Implement it directly, or name a built-in via DispatchPolicyByName.
+type DispatchPolicy = ni.Policy
+
+// DispatchPolicySpec names a dispatch policy and builds a fresh,
+// deterministically seeded instance per dispatcher.
+type DispatchPolicySpec = ni.Spec
+
+// DispatchPolicies lists the built-in dispatch-policy names in report
+// order: first-available, round-robin, least-outstanding,
+// least-outstanding-rr, random2 (randomN for any N ≥ 2), local.
+func DispatchPolicies() []string { return append([]string(nil), ni.PolicyNames...) }
+
+// DispatchPolicyByName resolves a built-in dispatch-policy name.
+func DispatchPolicyByName(name string) (DispatchPolicySpec, error) { return ni.SpecByName(name) }
+
+// ParseDispatchPlan builds a plan from the compact spec grammar shared with
+// the CLIs' -dispatch flags: "1x16" | "4x4" | "16x1" | "sw" | "jbsqN" |
+// "GxM", optionally suffixed ":policy" (e.g. "1x16:least-outstanding",
+// "2x8:random2").
+func ParseDispatchPlan(spec string) (*DispatchPlan, error) { return machine.ParsePlan(spec) }
+
+// PlanForMode returns the canned plan reproducing a legacy Mode,
+// byte-for-byte.
+func PlanForMode(m Mode) (*DispatchPlan, error) { return machine.PlanForMode(m) }
+
+// JBSQ returns the nanoPU-style JBSQ(n) plan: one shared queue, at most n
+// outstanding requests per core, shortest-bounded-queue arbitration. JBSQ(1)
+// is the strict single-queue ideal (with the dispatch round-trip bubble);
+// n=2 matches the paper's default threshold.
+func JBSQ(n int) *DispatchPlan { return machine.PlanJBSQ(n) }
 
 // DefaultParams returns the paper-calibrated parameter set (Table 1 plus
 // the calibrated NI/core costs documented in DESIGN.md).

@@ -156,6 +156,59 @@ func TestClusterPoliciesExported(t *testing.T) {
 	}
 }
 
+// TestDispatchPlanAPI exercises the root-level dispatch-plan surface: named
+// policies, the plan grammar, JBSQ, and per-node cluster plans.
+func TestDispatchPlanAPI(t *testing.T) {
+	names := rpcvalet.DispatchPolicies()
+	if len(names) != 6 {
+		t.Fatalf("policies = %v", names)
+	}
+	for _, name := range names {
+		spec, err := rpcvalet.DispatchPolicyByName(name)
+		if err != nil || spec.New == nil {
+			t.Fatalf("%s: %+v, %v", name, spec, err)
+		}
+	}
+	if _, err := rpcvalet.DispatchPolicyByName("bogus"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+
+	p := rpcvalet.DefaultParams()
+	p.Plan = rpcvalet.JBSQ(2)
+	res, err := rpcvalet.Run(rpcvalet.Config{
+		Params: p, Workload: rpcvalet.HERD(),
+		RateMRPS: 8, Warmup: 200, Measure: 3000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dispatch != "jbsq2" || res.Latency.Count == 0 {
+		t.Fatalf("jbsq2 run: dispatch=%q count=%d", res.Dispatch, res.Latency.Count)
+	}
+
+	if _, err := rpcvalet.ParseDispatchPlan("nope"); err == nil {
+		t.Fatal("bad plan spec accepted")
+	}
+	pl, err := rpcvalet.ParseDispatchPlan("2x8:random2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := rpcvalet.ClusterPolicyByName("jsq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpcvalet.DefaultCluster(2, rpcvalet.HERD(), pol)
+	cfg.NodePlans = []*rpcvalet.DispatchPlan{pl, nil}
+	cfg.Warmup, cfg.Measure = 200, 3000
+	cres, err := rpcvalet.RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.NodeDispatch) != 2 || cres.NodeDispatch[0] != "2x8:random2" {
+		t.Fatalf("NodeDispatch = %v", cres.NodeDispatch)
+	}
+}
+
 // ExampleRun demonstrates the minimal API path. Determinism of the seeded
 // simulation makes the output stable.
 func ExampleRun() {
