@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench
+.PHONY: all build fmt vet test race bench bench-json
 
 all: build test
 
@@ -22,3 +22,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
+
+# bench-json emits machine-readable benchmark results (BENCH_*.json) for the
+# performance trajectory: the engine's scheduling hot path and the two
+# figure-regeneration benches that exercise the dispatch-plan and
+# transient-telemetry layers end to end. CI uploads these as artifacts.
+bench-json:
+	$(GO) test -run='^$$' -bench='^BenchmarkEngineSchedule$$' -benchmem ./internal/sim \
+		| $(GO) run ./cmd/benchjson > BENCH_engine.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkFigPolicyPlans|BenchmarkFigTransient)$$' -benchtime=1x . \
+		| $(GO) run ./cmd/benchjson > BENCH_figures.json

@@ -65,6 +65,7 @@ func BenchmarkFig9ModelComparison(b *testing.B)    { regen(b, "9") }
 func BenchmarkTable1Parameters(b *testing.B)       { regen(b, "table1") }
 func BenchmarkFigBurstArrivals(b *testing.B)       { regen(b, "burst") }
 func BenchmarkFigPolicyPlans(b *testing.B)         { regen(b, "policy") }
+func BenchmarkFigTransient(b *testing.B)           { regen(b, "transient") }
 
 // --- Ablation benchmarks (design choices called out in DESIGN.md) --------
 

@@ -9,6 +9,8 @@
 //	rpcvalet-cluster [-nodes 4] [-mode 1x16] [-dispatch jbsq2] [-workload exp]
 //	                 [-policies random,rr,jsq2,bounded] [-arrival poisson]
 //	                 [-points 8] [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
+//	                 [-modulate pulse@400us+200us:x2] [-degrade 0:x1.5]
+//	                 [-epoch 25us] [-timeline]
 //	                 [-warmup 2000] [-measure 20000] [-seed 1]
 //	                 [-format text|csv|json] [-detail]
 //
@@ -21,6 +23,12 @@
 // gev. Arrivals shape the aggregate traffic: poisson (default), det,
 // mmpp2, lognormal. Loads are fractions of the cluster's estimated
 // aggregate capacity.
+//
+// -modulate wraps the aggregate arrival stream in a rate envelope
+// ("step@AT:xF", "pulse@START+DUR:xF", "ramp@START+DUR:xF",
+// "square@PERIOD/HIGH:xF"); -degrade injects per-node faults
+// ("0:x1.5;3:pause@500us+100us"); -timeline prints the highest-load
+// point's aggregate and per-node timelines for the first policy.
 package main
 
 import (
@@ -42,17 +50,21 @@ func main() {
 		wlName   = flag.String("workload", "exp", "workload: herd, masstree, fixed, uniform, exp, gev")
 		policies = flag.String("policies", strings.Join(rpcvalet.ClusterPolicies(), ","),
 			"comma-separated balancing policies (random, rr, jsqD, bounded)")
-		arrName = flag.String("arrival", "poisson", "arrival process: poisson, det, mmpp2, lognormal")
-		points  = flag.Int("points", 8, "offered-load points per policy")
-		lo      = flag.Float64("lo", 0.3, "lowest load fraction of cluster capacity")
-		hi      = flag.Float64("hi", 0.9, "highest load fraction of cluster capacity")
-		hop     = flag.Float64("hop", 500, "balancer→node network hop, ns")
-		sample  = flag.Float64("sample", 0, "balancer depth-view refresh period, ns (0 = live)")
-		warmup  = flag.Int("warmup", 2000, "completions discarded before measuring")
-		measure = flag.Int("measure", 20000, "completions measured per point")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		format  = flag.String("format", "text", "output format: text, csv, or json")
-		detail  = flag.Bool("detail", false, "also print throughput and imbalance tables")
+		arrName  = flag.String("arrival", "poisson", "arrival process: poisson, det, mmpp2, lognormal")
+		points   = flag.Int("points", 8, "offered-load points per policy")
+		lo       = flag.Float64("lo", 0.3, "lowest load fraction of cluster capacity")
+		hi       = flag.Float64("hi", 0.9, "highest load fraction of cluster capacity")
+		hop      = flag.Float64("hop", 500, "balancer→node network hop, ns")
+		sample   = flag.Float64("sample", 0, "balancer depth-view refresh period, ns (0 = live)")
+		warmup   = flag.Int("warmup", 2000, "completions discarded before measuring")
+		measure  = flag.Int("measure", 20000, "completions measured per point")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		format   = flag.String("format", "text", "output format: text, csv, or json")
+		detail   = flag.Bool("detail", false, "also print throughput and imbalance tables")
+		modulate = flag.String("modulate", "", "aggregate rate envelope: step@AT:xF, pulse@START+DUR:xF, ramp@START+DUR:xF, square@PERIOD/HIGH:xF")
+		degrade  = flag.String("degrade", "", "per-node faults: NODE:FAULT list, e.g. 0:x1.5;3:pause@500us+100us")
+		epoch    = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
+		timeline = flag.Bool("timeline", false, "print the highest-load point's timelines (first policy)")
 	)
 	flag.Parse()
 
@@ -110,11 +122,37 @@ func main() {
 		}
 	}
 
+	var faults []rpcvalet.NodeFault
+	if *degrade != "" {
+		var err error
+		if faults, err = rpcvalet.ParseNodeFaults(*degrade); err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var env rpcvalet.Envelope
+	if *modulate != "" {
+		var err error
+		if env, err = rpcvalet.ParseEnvelope(*modulate); err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var epochDur sim.Duration
+	if *epoch != "" {
+		var err error
+		if epochDur, err = sim.ParseDuration(*epoch); err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	names := strings.Split(*policies, ",")
 	curves := make([]rpcvalet.ClusterCurve, 0, len(names))
 	var loads []float64
 	var capacity float64
-	for _, name := range names {
+	var lastCfg rpcvalet.Cluster // first policy's config, for -timeline
+	for pi, name := range names {
 		name = strings.TrimSpace(name)
 		pol, err := rpcvalet.ClusterPolicyByName(name)
 		if err != nil {
@@ -124,11 +162,16 @@ func main() {
 		cfg := rpcvalet.DefaultCluster(*nodes, wl, pol)
 		cfg.Node.Params = params
 		cfg.NodePlans = nodePlans
+		cfg.Faults = faults
+		cfg.Epoch = epochDur
 		// The sweep re-rates the process to each point's aggregate rate.
 		cfg.Arrival, err = rpcvalet.ArrivalByName(*arrName, cfg.RateMRPS)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
 			os.Exit(2)
+		}
+		if env != nil {
+			cfg.Arrival = rpcvalet.ArrivalModulated(cfg.Arrival, env)
 		}
 		cfg.Hop = sim.FromNanos(*hop)
 		cfg.SampleEvery = sim.FromNanos(*sample)
@@ -149,6 +192,10 @@ func main() {
 			os.Exit(1)
 		}
 		curves = append(curves, curve)
+		if pi == 0 {
+			lastCfg = cfg
+			lastCfg.RateMRPS = rates[len(rates)-1]
+		}
 	}
 
 	dispLabel := *mode
@@ -180,6 +227,24 @@ func main() {
 	if *detail {
 		emit("throughput (MRPS) by policy", func(p rpcvalet.ClusterPoint) float64 { return p.ThroughputMRPS })
 		emit("completion imbalance (max/mean) by policy", func(p rpcvalet.ClusterPoint) float64 { return p.Imbalance })
+	}
+
+	if *timeline {
+		res, err := rpcvalet.RunCluster(lastCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("# timelines: policy %s at %.1f MRPS\n\n", curves[0].Label, lastCfg.RateMRPS)
+		fmt.Println(report.TimelineSpark(res.Timeline))
+		fmt.Println()
+		if err := report.TimelineTable("aggregate timeline", res.Timeline).WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i, tl := range res.NodeTimelines {
+			fmt.Printf("\nnode %d (%s, %s): %s\n", i, res.NodeDispatch[i], res.NodeFaults[i], report.TimelineSpark(tl))
+		}
 	}
 }
 

@@ -6,7 +6,9 @@
 //
 //	rpcvalet-sim -mode 1x16 -workload herd -rate 10 [-measure 50000]
 //	             [-arrival poisson] [-threshold 2] [-seed 1]
-//	             [-dispatch jbsq2] [-format text|json]
+//	             [-dispatch jbsq2] [-modulate pulse@400us+200us:x2]
+//	             [-degrade x1.5] [-epoch 25us] [-timeline]
+//	             [-format text|json]
 //
 // Modes: 1x16 (RPCValet), 4x4, 16x1 (RSS baseline), sw (MCS software queue).
 // -dispatch overrides -mode with a full dispatch plan:
@@ -17,6 +19,11 @@
 // Workloads: herd, masstree, fixed, uniform, exp, gev.
 // Arrivals: poisson (default), det, mmpp2, lognormal — same mean rate,
 // different burstiness.
+// -modulate wraps the arrival process in a rate envelope ("step@AT:xF",
+// "pulse@START+DUR:xF", "ramp@START+DUR:xF", "square@PERIOD/HIGH:xF");
+// -degrade injects machine faults ("x1.5" slowdown, "pause@200us+100us"
+// stall windows, comma-combinable); -timeline prints the epoch-sliced
+// timeline (sparkline + table) alongside the summary.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 
 	"rpcvalet"
 	"rpcvalet/internal/report"
+	"rpcvalet/internal/sim"
 )
 
 func main() {
@@ -42,6 +50,10 @@ func main() {
 		threshold = flag.Int("threshold", 2, "outstanding requests per core")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		format    = flag.String("format", "text", "output format: text or json")
+		modulate  = flag.String("modulate", "", "rate envelope: step@AT:xF, pulse@START+DUR:xF, ramp@START+DUR:xF, square@PERIOD/HIGH:xF")
+		degrade   = flag.String("degrade", "", "machine fault: x<factor> slowdown and/or pause@START+DUR, comma-separated")
+		epoch     = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
+		timeline  = flag.Bool("timeline", false, "print the epoch-sliced timeline (text format only; json output always embeds it as Timeline)")
 	)
 	flag.Parse()
 
@@ -89,8 +101,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
 		os.Exit(2)
 	}
+	if *modulate != "" {
+		env, err := rpcvalet.ParseEnvelope(*modulate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(2)
+		}
+		arr = rpcvalet.ArrivalModulated(arr, env)
+	}
 
-	res, err := rpcvalet.Run(rpcvalet.Config{
+	cfg := rpcvalet.Config{
 		Params:   params,
 		Workload: wl,
 		RateMRPS: *rate,
@@ -98,7 +118,26 @@ func main() {
 		Warmup:   *warmup,
 		Measure:  *measure,
 		Seed:     *seed,
-	})
+	}
+	if *degrade != "" {
+		f, err := rpcvalet.ParseFault(*degrade)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Slowdown = f.Slowdown
+		cfg.Pauses = f.Pauses
+	}
+	if *epoch != "" {
+		d, err := sim.ParseDuration(*epoch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Epoch = d
+	}
+
+	res, err := rpcvalet.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
 		os.Exit(1)
@@ -161,5 +200,15 @@ func main() {
 	if err := util.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *timeline {
+		fmt.Println()
+		fmt.Println(report.TimelineSpark(res.Timeline))
+		fmt.Println()
+		if err := report.TimelineTable("timeline", res.Timeline).WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -18,9 +18,12 @@ package cluster
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/machine"
+	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/stats"
@@ -61,6 +64,55 @@ type Config struct {
 	Seed        uint64
 	// MaxSimTime aborts the run after this much virtual time (0 = none).
 	MaxSimTime sim.Duration
+	// Faults injects per-node degradation — service slowdown factors and
+	// pause windows — without touching the healthy nodes' result streams.
+	// See NodeFault and ParseFaults.
+	Faults []NodeFault
+	// Epoch sets the Result timelines' initial epoch length; 0 uses the
+	// metrics default (1 µs, doubling as the run outgrows it). MaxEpochs
+	// bounds the timelines' slice count (0 = metrics default, 64).
+	Epoch     sim.Duration
+	MaxEpochs int
+}
+
+// NodeFault assigns one node a machine-level fault: a service-time slowdown
+// and/or stall windows. Nodes without an entry stay healthy.
+type NodeFault struct {
+	Node     int
+	Slowdown float64 // handler service-time multiplier (0 or 1 = none)
+	Pauses   []machine.Pause
+}
+
+func (f NodeFault) String() string {
+	return fmt.Sprintf("%d:%s", f.Node, machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses})
+}
+
+// ParseFaults parses the -degrade grammar: a semicolon-separated list of
+// NODE:FAULT entries, each fault a comma-separated mix of "x<factor>"
+// slowdowns and "pause@START+DUR" windows — e.g.
+// "0:x1.5" or "0:x2,pause@1ms+200us;3:pause@500us+100us".
+func ParseFaults(spec string) ([]NodeFault, error) {
+	var out []NodeFault
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		nodeStr, faultStr, ok := strings.Cut(entry, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: bad fault entry %q (want NODE:FAULT)", entry)
+		}
+		node, err := strconv.Atoi(strings.TrimSpace(nodeStr))
+		if err != nil || node < 0 {
+			return nil, fmt.Errorf("cluster: bad fault node %q", nodeStr)
+		}
+		f, err := machine.ParseFault(faultStr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, NodeFault{Node: node, Slowdown: f.Slowdown, Pauses: f.Pauses})
+	}
+	return out, nil
 }
 
 func (c Config) validate() error {
@@ -81,6 +133,18 @@ func (c Config) validate() error {
 		return fmt.Errorf("cluster: negative sampling period")
 	case len(c.NodePlans) != 0 && len(c.NodePlans) != c.Nodes:
 		return fmt.Errorf("cluster: %d per-node plans for %d nodes", len(c.NodePlans), c.Nodes)
+	case c.Epoch < 0:
+		return fmt.Errorf("cluster: negative epoch length")
+	case c.MaxEpochs < 0:
+		return fmt.Errorf("cluster: negative epoch bound")
+	}
+	for _, f := range c.Faults {
+		if f.Node < 0 || f.Node >= c.Nodes {
+			return fmt.Errorf("cluster: fault for node %d of %d", f.Node, c.Nodes)
+		}
+		if f.Slowdown < 0 {
+			return fmt.Errorf("cluster: node %d negative slowdown %g", f.Node, f.Slowdown)
+		}
 	}
 	return nil
 }
@@ -107,12 +171,23 @@ type Result struct {
 	// NodeDispatch names each node's resolved dispatch plan — uniform
 	// racks repeat one label; heterogeneous racks show the mix.
 	NodeDispatch []string
+	// NodeFaults labels each node's injected degradation ("healthy",
+	// "x1.5", "pause@1ms+200us", ...).
+	NodeFaults []string
 
 	SLONanos float64 // workload SLO (absolute, or factor × estimated S̄)
 	MeetsSLO bool
 
 	Completed int
 	TimedOut  bool
+
+	// Timeline is the balancer's epoch-sliced view of the whole run:
+	// per-epoch cluster throughput, end-to-end latency, and total
+	// outstanding RPCs. NodeTimelines are the per-node recorders' views
+	// (node-local latency, queue depth, core utilization), index-aligned
+	// with NodeCompleted.
+	Timeline      metrics.Timeline
+	NodeTimelines []metrics.Timeline
 }
 
 func (r Result) String() string {
@@ -181,13 +256,21 @@ func Run(cfg Config) (Result, error) {
 	arrRNG := root.Split()
 	polRNG := root.Split()
 
+	faultByNode := make([]machine.Fault, cfg.Nodes)
+	for _, f := range cfg.Faults {
+		faultByNode[f.Node] = machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses}
+	}
 	nodes := make([]*machine.Machine, cfg.Nodes)
 	for i := range nodes {
 		ncfg := cfg.Node
 		ncfg.Seed = root.Split().Uint64()
+		ncfg.Epoch = cfg.Epoch
+		ncfg.MaxEpochs = cfg.MaxEpochs
 		if len(cfg.NodePlans) > 0 && cfg.NodePlans[i] != nil {
 			ncfg.Params.Plan = cfg.NodePlans[i]
 		}
+		ncfg.Slowdown = faultByNode[i].Slowdown
+		ncfg.Pauses = faultByNode[i].Pauses
 		m, err := machine.NewShared(ncfg, eng)
 		if err != nil {
 			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -206,15 +289,13 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	var (
-		latency       stats.Sample
 		completed     int
+		totalOut      int // RPCs dispatched and not yet complete, cluster-wide
 		nodeCompleted = make([]int, cfg.Nodes)
 		target        = cfg.Warmup + cfg.Measure
-		measStart     sim.Time
-		measEnd       sim.Time
-		measuring     bool
 		timedOut      bool
 	)
+	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs})
 	if cfg.MaxSimTime > 0 {
 		eng.Schedule(cfg.MaxSimTime, func() {
 			timedOut = true
@@ -235,22 +316,27 @@ func Run(cfg Config) (Result, error) {
 			return
 		}
 		v.dispatched(n)
+		totalOut++
 		sent := eng.Now()
 		eng.Schedule(cfg.Hop, func() {
 			nodes[n].Inject(func(_ int, measured bool) {
 				v.completed(n)
+				totalOut--
 				completed++
 				nodeCompleted[n]++
 				if completed == cfg.Warmup+1 {
-					measStart = eng.Now()
-					measuring = true
+					rec.OpenWindow(eng.Now())
 				}
-				if measuring && measured {
-					latency.Add(eng.Now().Sub(sent).Nanos())
-				}
+				rec.Complete(eng.Now(), metrics.Completion{
+					Class:     -1,
+					Measured:  measured,
+					LatencyNs: eng.Now().Sub(sent).Nanos(),
+					WaitNs:    -1,
+					ServiceNs: -1,
+					Depth:     totalOut,
+				})
 				if completed >= target {
-					measEnd = eng.Now()
-					measuring = false
+					rec.CloseWindow(eng.Now())
 					eng.Stop()
 				}
 			})
@@ -268,13 +354,14 @@ func Run(cfg Config) (Result, error) {
 		Nodes:         cfg.Nodes,
 		RateMRPS:      cfg.RateMRPS,
 		Seed:          cfg.Seed,
-		Latency:       latency.Summarize(),
+		Latency:       rec.Latency(),
 		NodeCompleted: nodeCompleted,
 		Completed:     completed,
 		TimedOut:      timedOut,
+		Timeline:      rec.Timeline(),
 	}
-	if span := measEnd.Sub(measStart); span > 0 {
-		res.ThroughputMRPS = float64(cfg.Measure-1) / span.Nanos() * 1000
+	if start, end := rec.Window(); end > start {
+		res.ThroughputMRPS = float64(cfg.Measure-1) / end.Sub(start).Nanos() * 1000
 	}
 	mean := float64(completed) / float64(cfg.Nodes)
 	if mean > 0 {
@@ -286,9 +373,11 @@ func Run(cfg Config) (Result, error) {
 		}
 		res.Imbalance = float64(maxN) / mean
 	}
-	for _, m := range nodes {
+	for i, m := range nodes {
 		res.NodeUtilization = append(res.NodeUtilization, m.MeanCoreUtilization())
 		res.NodeDispatch = append(res.NodeDispatch, m.DispatchLabel())
+		res.NodeFaults = append(res.NodeFaults, faultByNode[i].String())
+		res.NodeTimelines = append(res.NodeTimelines, m.Timeline())
 	}
 
 	// SLO: absolute when the workload specifies one, otherwise the SLO

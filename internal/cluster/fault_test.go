@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"testing"
+
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/sim"
+)
+
+func TestParseFaults(t *testing.T) {
+	fs, err := ParseFaults("0:x1.5")
+	if err != nil || len(fs) != 1 || fs[0].Node != 0 || fs[0].Slowdown != 1.5 {
+		t.Fatalf("0:x1.5 -> %+v, %v", fs, err)
+	}
+	fs, err = ParseFaults("1:x2,pause@1ms+200us; 3:pause@500us+100us")
+	if err != nil || len(fs) != 2 {
+		t.Fatalf("two entries -> %+v, %v", fs, err)
+	}
+	if fs[0].Node != 1 || fs[0].Slowdown != 2 || len(fs[0].Pauses) != 1 {
+		t.Fatalf("entry 0 = %+v", fs[0])
+	}
+	if fs[1].Node != 3 || len(fs[1].Pauses) != 1 || fs[1].Pauses[0].Start != sim.FromMicros(500) {
+		t.Fatalf("entry 1 = %+v", fs[1])
+	}
+	for _, bad := range []string{"x1.5", "a:x1.5", "-1:x2", "0:z9"} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	good := baseConfig(2, Random{}, 0.5)
+	for name, faults := range map[string][]NodeFault{
+		"nodeOutOfRange": {{Node: 2, Slowdown: 1.5}},
+		"negativeNode":   {{Node: -1, Slowdown: 1.5}},
+		"negativeSlow":   {{Node: 0, Slowdown: -2}},
+	} {
+		cfg := good
+		cfg.Faults = faults
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: invalid faults accepted", name)
+		}
+	}
+}
+
+// TestDegradedNodeShiftsLoadUnderJSQ: with one node slowed down, a
+// queue-aware balancer routes around it — the degraded node completes less
+// than its fair share — while blind random routing keeps feeding it and
+// pays at the tail.
+func TestDegradedNodeShiftsLoadUnderJSQ(t *testing.T) {
+	jsq := baseConfig(4, JSQ{D: 2}, 0.6)
+	jsq.Faults = []NodeFault{{Node: 0, Slowdown: 1.5}}
+	jres := run(t, jsq)
+
+	fair := float64(jres.Completed) / 4
+	if got := float64(jres.NodeCompleted[0]); got > 0.95*fair {
+		t.Fatalf("JSQ kept feeding the slow node: %v of fair %v", got, fair)
+	}
+	if jres.NodeFaults[0] != "x1.5" || jres.NodeFaults[1] != "healthy" {
+		t.Fatalf("fault labels = %v", jres.NodeFaults)
+	}
+
+	rnd := baseConfig(4, Random{}, 0.6)
+	rnd.Faults = jsq.Faults
+	rres := run(t, rnd)
+	if rres.Latency.P99 <= jres.Latency.P99 {
+		t.Fatalf("random should pay more at the tail than JSQ under degradation: %v vs %v",
+			rres.Latency.P99, jres.Latency.P99)
+	}
+}
+
+// TestDegradedMarginWidens: the JSQ-over-random advantage must be wider with
+// a degraded node than at uniform speed — the transient-figure claim at
+// test scale.
+func TestDegradedMarginWidens(t *testing.T) {
+	margin := func(faults []NodeFault) float64 {
+		r := baseConfig(4, Random{}, 0.65)
+		r.Faults = faults
+		j := baseConfig(4, JSQ{D: 2}, 0.65)
+		j.Faults = faults
+		rres, jres := run(t, r), run(t, j)
+		return rres.Latency.P99 / jres.Latency.P99
+	}
+	uniform := margin(nil)
+	degraded := margin([]NodeFault{{Node: 0, Slowdown: 1.5}})
+	if degraded <= uniform {
+		t.Fatalf("degraded margin %.2f not wider than uniform %.2f", degraded, uniform)
+	}
+}
+
+// TestClusterTimelines: the aggregate and per-node timelines are populated,
+// aligned, and account for every completion.
+func TestClusterTimelines(t *testing.T) {
+	cfg := baseConfig(3, &RoundRobin{}, 0.5)
+	cfg.Epoch = 20 * sim.Microsecond
+	res := run(t, cfg)
+
+	if len(res.Timeline.Epochs) == 0 {
+		t.Fatal("aggregate timeline empty")
+	}
+	total := 0
+	for _, e := range res.Timeline.Epochs {
+		total += e.Completions
+	}
+	if total != res.Completed {
+		t.Fatalf("aggregate timeline completions %d != %d", total, res.Completed)
+	}
+	if len(res.NodeTimelines) != 3 {
+		t.Fatalf("node timelines = %d", len(res.NodeTimelines))
+	}
+	nodeTotal := 0
+	for i, tl := range res.NodeTimelines {
+		if len(tl.Epochs) == 0 {
+			t.Fatalf("node %d timeline empty", i)
+		}
+		for _, e := range tl.Epochs {
+			nodeTotal += e.Completions
+		}
+	}
+	if nodeTotal != res.Completed {
+		t.Fatalf("node timeline completions %d != %d", nodeTotal, res.Completed)
+	}
+}
+
+// TestPausedNodeVisibleInNodeTimeline: a long pause on one node shows up as
+// a throughput hole in that node's timeline and nowhere else.
+func TestPausedNodeVisibleInNodeTimeline(t *testing.T) {
+	cfg := baseConfig(2, &RoundRobin{}, 0.4)
+	cfg.Epoch = 50 * sim.Microsecond
+	pause := machine.Pause{Start: 200 * sim.Microsecond, Dur: 150 * sim.Microsecond}
+	cfg.Faults = []NodeFault{{Node: 1, Pauses: []machine.Pause{pause}}}
+	res := run(t, cfg)
+
+	mid := pause.Start + pause.Dur/2
+	healthy, paused := res.NodeTimelines[0], res.NodeTimelines[1]
+	hIdx, pIdx := healthy.EpochIndex(mid.Nanos()), paused.EpochIndex(mid.Nanos())
+	if hIdx < 0 || pIdx < 0 {
+		t.Fatal("pause window outside both timelines")
+	}
+	hThr, pThr := healthy.Epochs[hIdx].ThroughputMRPS, paused.Epochs[pIdx].ThroughputMRPS
+	if pThr > 0.5*hThr {
+		t.Fatalf("paused node throughput %.2f not depressed vs healthy %.2f", pThr, hThr)
+	}
+}

@@ -248,6 +248,101 @@ func TestRefineKneeNoCrossing(t *testing.T) {
 	}
 }
 
+// TestRefineKneeEdgeCases exercises the refinement's degenerate inputs with
+// synthetic curves: every early-return path must leave the curve untouched
+// (and run zero extra simulations — these paths return before any sweep).
+func TestRefineKneeEdgeCases(t *testing.T) {
+	base := machineBase(tinyOptions(), workload.HERD(), machine.ModeSingleQueue)
+	mk := func(meets ...bool) Curve {
+		c := Curve{Label: "synthetic"}
+		for i, m := range meets {
+			c.Points = append(c.Points, CurvePoint{
+				RateMRPS: float64(i + 1), ThroughputMRPS: float64(i + 1),
+				P99: 100 * float64(i+1), SLONanos: 250, MeetsSLO: m,
+			})
+		}
+		return c
+	}
+	cases := map[string]Curve{
+		"noneMeetSLO":    mk(false, false, false),
+		"allMeetSLO":     mk(true, true, true),
+		"kneeAtLowEdge":  mk(false, true, true), // SLO region touches the grid's top: nothing above to bisect toward
+		"kneeBeyondGrid": mk(true),              // single point, trivially at the edge
+		"emptyCurve":     mk(),
+	}
+	for name, c := range cases {
+		refined, err := RefineKnee(base, c, 5, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if refined.Knee != nil {
+			t.Errorf("%s: refinement invented a knee", name)
+		}
+		if len(refined.Points) != len(c.Points) {
+			t.Errorf("%s: points changed", name)
+		}
+		for i := range c.Points {
+			if refined.Points[i] != c.Points[i] {
+				t.Errorf("%s: point %d mutated", name, i)
+			}
+		}
+	}
+}
+
+// TestRefineKneeAtGridEdge drives a real refinement whose knee sits at the
+// top of the grid: the last grid point meets the SLO, so there is no
+// violating point to bisect against and the curve must come back unchanged,
+// while a grid extended past saturation must produce a refined knee between
+// the crossing points.
+func TestRefineKneeAtGridEdge(t *testing.T) {
+	o := tinyOptions()
+	base := machineBase(o, workload.HERD(), machine.ModeSingleQueue)
+	cap := CapacityMRPS(base.Params, base.Workload)
+
+	// Grid confined below the knee: every point meets, edge case.
+	low, err := MachineSweep(base, RateGrid(cap, 0.2, 0.5, 3), "low", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range low.Points {
+		if !p.MeetsSLO {
+			t.Skipf("low-load grid unexpectedly violated SLO at tiny scale: %+v", p)
+		}
+	}
+	refined, err := RefineKnee(base, low, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Knee != nil {
+		t.Fatal("knee refined despite the whole grid meeting the SLO")
+	}
+
+	// Grid crossing saturation: the knee must land inside the crossing
+	// bracket and meet the SLO.
+	wide, err := MachineSweep(base, RateGrid(cap, 0.5, 1.3, 4), "wide", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err = RefineKnee(base, wide, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refined.Knee == nil {
+		t.Skip("no SLO crossing materialized at tiny scale")
+	}
+	lastOK, firstBad := -1.0, -1.0
+	for _, p := range wide.Points {
+		if p.MeetsSLO {
+			lastOK = p.RateMRPS
+		} else if firstBad < 0 && lastOK >= 0 {
+			firstBad = p.RateMRPS
+		}
+	}
+	if k := refined.Knee.RateMRPS; k < lastOK || (firstBad > 0 && k > firstBad) {
+		t.Fatalf("knee at %.2f outside bracket [%.2f, %.2f]", k, lastOK, firstBad)
+	}
+}
+
 // TestMachineSweepDeterministicPerArrival mirrors TestMachineSweepDeterministic
 // for every built-in arrival process: the worker count must never change a
 // sweep's points.
@@ -373,6 +468,63 @@ func TestFigurePolicyClaims(t *testing.T) {
 		if !c.Ok {
 			t.Errorf("claim failed: %s", c)
 		}
+	}
+}
+
+// TestFigureTransientStructure checks the transient study's shape: the
+// pulse comparison, the rendered timeline, the recovery summary, the
+// degraded-node table, and three claims.
+func TestFigureTransientStructure(t *testing.T) {
+	o := tinyOptions()
+	fig, err := Figures["transient"](o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 4 {
+		t.Fatalf("transient tables = %d, want 4", len(fig.Tables))
+	}
+	for _, tbl := range fig.Tables {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("empty table %q", tbl.Title)
+		}
+	}
+	if len(fig.Claims) != 3 {
+		t.Fatalf("transient claims = %d, want 3", len(fig.Claims))
+	}
+}
+
+// TestFigureTransientClaims regenerates the transient study at QuickOptions
+// scale — the acceptance scale — and requires every claim to hold: the
+// single queue out-recovers the partitioned baseline after a 2× pulse, its
+// pulse peak stays lower, and JSQ's margin over random widens under a
+// degraded node.
+func TestFigureTransientClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickOptions-scale regeneration")
+	}
+	fig, err := Figures["transient"](QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig.Claims {
+		if !c.Ok {
+			t.Errorf("claim failed: %s", c)
+		}
+	}
+}
+
+// TestRecoveryHelpers pins the transient figure's analysis helpers.
+func TestRecoveryHelpers(t *testing.T) {
+	if got := median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := median([]float64{4, 1}); got != 4 {
+		t.Fatalf("even median = %v (upper-middle)", got)
+	}
+	in := []float64{9, 2}
+	_ = median(in)
+	if in[0] != 9 {
+		t.Fatal("median mutated its input")
 	}
 }
 

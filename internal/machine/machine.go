@@ -5,12 +5,12 @@ import (
 
 	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/fifo"
+	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/ni"
 	"rpcvalet/internal/noc"
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/sonuma"
-	"rpcvalet/internal/stats"
 	"rpcvalet/internal/trace"
 	"rpcvalet/internal/workload"
 )
@@ -30,15 +30,15 @@ type request struct {
 	onDone func(class int, measured bool)
 }
 
-// core is one serving core's state.
+// core is one serving core's state. Busy-time accounting lives in the
+// machine's metrics.Recorder, keyed by core ID.
 type core struct {
 	id   int
 	tile noc.Coord
 	busy bool
 	// cq is the private completion queue: dispatched messages awaiting
 	// processing.
-	cq       fifo.Queue[*request]
-	busyTime sim.Duration // cumulative occupancy, for utilization reporting
+	cq fifo.Queue[*request]
 }
 
 // replyWaiter is a core stalled mid-completion on reply-send flow control.
@@ -90,18 +90,17 @@ type Machine struct {
 	// machine neither measures nor stops the shared engine itself.
 	external bool
 
-	// Measurement.
-	completed          int
-	target             int
-	latency            stats.Sample // measured classes, ns
-	classLat           []stats.Sample
-	svcSample          stats.Sample // per-request core occupancy (S̄), ns
-	waitSample         stats.Sample // pre-service delay (reception → handler start), ns
-	measStart, measEnd sim.Time
-	measuring          bool
-	blockedArrivals    uint64
-	replyStalls        uint64
-	timedOut           bool
+	// slow is the resolved service-slowdown factor (1 = healthy).
+	slow float64
+
+	// Measurement: all samples, the epoch timeline, and the measurement
+	// window live in the recorder; the machine keeps only run control.
+	rec             *metrics.Recorder
+	completed       int
+	target          int
+	blockedArrivals uint64
+	replyStalls     uint64
+	timedOut        bool
 }
 
 // Config describes one machine run.
@@ -126,6 +125,20 @@ type Config struct {
 	// (arrive/dispatch/start/complete). It runs inline on the simulation
 	// path; use a bounded trace.Buffer for long runs.
 	Trace trace.Recorder
+	// Slowdown multiplies every sampled handler service time — a degraded
+	// (thermally throttled, misconfigured) server. 0 and 1 both mean full
+	// speed, byte-for-byte reproducing historical result streams.
+	Slowdown float64
+	// Pauses lists stall windows: a core beginning work inside one stalls
+	// until the window ends (GC pause, power event). See Pause.
+	Pauses []Pause
+	// Epoch sets the Result timeline's initial epoch length; 0 uses the
+	// metrics default (1 µs, doubling as the run outgrows it). MaxEpochs
+	// bounds the timeline's slice count (0 = metrics default, 64);
+	// experiments that compare timelines across runs pin both so a long
+	// run cannot silently double its granularity.
+	Epoch     sim.Duration
+	MaxEpochs int
 }
 
 func (c Config) validate() error {
@@ -142,10 +155,17 @@ func (c Config) validate() error {
 		return fmt.Errorf("machine: Measure must be positive")
 	case c.Warmup < 0:
 		return fmt.Errorf("machine: negative warmup")
+	case c.Epoch < 0:
+		return fmt.Errorf("machine: negative epoch length")
+	case c.MaxEpochs < 0:
+		return fmt.Errorf("machine: negative epoch bound")
 	default:
-		return nil
+		return c.fault().validate()
 	}
 }
+
+// fault bundles the config's degradation fields.
+func (c Config) fault() Fault { return Fault{Slowdown: c.Slowdown, Pauses: c.Pauses} }
 
 // New wires up a machine for the given configuration.
 func New(cfg Config) (*Machine, error) {
@@ -165,6 +185,9 @@ func NewShared(cfg Config, eng *sim.Engine) (*Machine, error) {
 		return nil, err
 	}
 	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.fault().validate(); err != nil {
 		return nil, err
 	}
 	return build(cfg, eng, true)
@@ -192,8 +215,21 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 		rssRNG:   root.Split(),
 		inflight: make(map[uint64]*request),
 		target:   cfg.Warmup + cfg.Measure,
-		classLat: make([]stats.Sample, len(cfg.Workload.Classes)),
+		slow:     1,
 	}
+	if cfg.Slowdown > 0 {
+		m.slow = cfg.Slowdown
+	}
+	classes := make([]string, len(cfg.Workload.Classes))
+	for i, cl := range cfg.Workload.Classes {
+		classes[i] = cl.Name
+	}
+	m.rec = metrics.NewRecorder(metrics.Config{
+		Classes:    classes,
+		Servers:    p.Cores,
+		EpochNanos: cfg.Epoch.Nanos(),
+		MaxEpochs:  cfg.MaxEpochs,
+	})
 	m.arr = arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
 
 	m.swQueue.CompactAfter = 1024
@@ -361,6 +397,12 @@ func (m *Machine) inject(onDone func(class int, measured bool)) {
 		svcNanos: m.wl.Classes[class].Service.Sample(m.svcRNG),
 		onDone:   onDone,
 	}
+	if m.slow != 1 {
+		// Degraded-node injection: the handler runs slower, the sampled
+		// distribution's shape intact. Guarded so healthy machines keep
+		// bit-identical service streams.
+		req.svcNanos *= m.slow
+	}
 	m.nextID++
 	m.inflight[req.id] = req
 	if m.freeSlots[src].Len() == 0 {
@@ -383,16 +425,14 @@ func (m *Machine) DispatchLabel() string { return m.plan.label }
 // MeanCoreUtilization reports the average busy fraction across the serving
 // cores, measured against the engine's current clock.
 func (m *Machine) MeanCoreUtilization() float64 {
-	now := m.eng.Now()
-	if now == 0 {
-		return 0
-	}
-	var busy sim.Duration
-	for _, c := range m.cores {
-		busy += c.busyTime
-	}
-	return float64(busy) / float64(now) / float64(len(m.cores))
+	return m.rec.MeanUtilization(m.eng.Now())
 }
+
+// Timeline renders the machine's epoch-sliced measurement timeline so far:
+// per-epoch throughput, latency, queue depth, and core utilization over the
+// whole run (warmup included). For shared machines (internal/cluster) this
+// is the per-node view the owning simulation aggregates.
+func (m *Machine) Timeline() metrics.Timeline { return m.rec.Timeline() }
 
 // admit claims a receive slot and runs the message through an NI backend.
 // Slots are consumed FIFO, matching the ring the sender's send buffer keeps
@@ -515,18 +555,21 @@ func (m *Machine) deliver(di int, d ni.Dispatch) {
 // begin starts processing the head of the core's private CQ. pollDelay is
 // the CQ-detection cost: nonzero when the core was idle-polling, zero when
 // it rolls directly from the previous request (the threshold-2 case that
-// eliminates the execution bubble, §4.3).
+// eliminates the execution bubble, §4.3). Work beginning inside a configured
+// pause window stalls (still occupying the core) until the window ends.
 func (m *Machine) begin(c *core, pollDelay sim.Duration) {
 	req, ok := c.cq.Pop()
 	if !ok {
 		panic(fmt.Sprintf("machine: core %d began with empty CQ", c.id))
 	}
 	c.busy = true
-	svcStart := m.eng.Now().Add(pollDelay)
+	now := m.eng.Now()
+	stall := pauseStall(m.cfg.Pauses, now)
+	svcStart := now.Add(pollDelay + stall)
 	m.record(req.id, trace.PhaseStart, c.id)
-	occupied := pollDelay + m.p.BufRead + sim.FromNanos(req.svcNanos) +
+	occupied := pollDelay + stall + m.p.BufRead + sim.FromNanos(req.svcNanos) +
 		m.p.LoopOverhead + m.p.SendPost + m.p.ReplenishPost
-	c.busyTime += occupied
+	m.rec.Busy(now, c.id, occupied)
 	m.eng.Schedule(occupied, func() { m.finish(c, req, svcStart) })
 }
 
@@ -553,25 +596,25 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 	if req.onDone != nil {
 		req.onDone(req.class, m.wl.Classes[req.class].Measured)
 	}
-	if !m.external {
-		if m.completed == m.cfg.Warmup+1 {
-			m.measStart = now
-			m.measuring = true
-		}
-		if m.measuring {
-			if m.wl.Classes[req.class].Measured {
-				m.latency.Add(now.Sub(req.arrive).Nanos())
-			}
-			m.classLat[req.class].Add(now.Sub(req.arrive).Nanos())
-			m.svcSample.Add(now.Sub(svcStart).Nanos())
-			m.waitSample.Add(svcStart.Sub(req.arrive).Nanos())
-		}
-		if m.completed >= m.target {
-			m.measEnd = now
-			m.measuring = false
-			m.eng.Stop()
-			return
-		}
+	if !m.external && m.completed == m.cfg.Warmup+1 {
+		m.rec.OpenWindow(now)
+	}
+	// The recorder always slices the completion into its epoch timeline
+	// (shared machines included — the owning cluster reads the per-node
+	// view); the summary collectors only see it while the window is open,
+	// the historical gating.
+	m.rec.Complete(now, metrics.Completion{
+		Class:     req.class,
+		Measured:  m.wl.Classes[req.class].Measured,
+		LatencyNs: now.Sub(req.arrive).Nanos(),
+		WaitNs:    svcStart.Sub(req.arrive).Nanos(),
+		ServiceNs: now.Sub(svcStart).Nanos(),
+		Depth:     len(m.inflight) - 1, // admitted-but-incomplete, this one excluded
+	})
+	if !m.external && m.completed >= m.target {
+		m.rec.CloseWindow(now)
+		m.eng.Stop()
+		return
 	}
 
 	// Reply transmission through this core's row backend; the remote node

@@ -3,6 +3,7 @@ package machine
 import (
 	"fmt"
 
+	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/stats"
 )
 
@@ -37,6 +38,13 @@ type Result struct {
 	ReplyStalls     uint64 // completions stalled on reply-send credits
 	Completed       int
 	TimedOut        bool
+
+	// Timeline is the epoch-sliced view of the whole run (warmup included):
+	// per-epoch throughput, latency and wait percentiles, queue depth, and
+	// core utilization. The summary fields above stay the steady-state
+	// window; the timeline is where transients — load steps, bursts, pause
+	// windows — become visible.
+	Timeline metrics.Timeline
 }
 
 func (r Result) String() string {
@@ -52,26 +60,27 @@ func (m *Machine) result() Result {
 		Workload:     m.wl.Name,
 		RateMRPS:     m.cfg.RateMRPS,
 		Seed:         m.cfg.Seed,
-		Latency:      m.latency.Summarize(),
+		Latency:      m.rec.Latency(),
 		ClassLatency: make(map[string]stats.Summary, len(m.wl.Classes)),
 		Completed:    m.completed,
 		TimedOut:     m.timedOut,
 
-		ServiceMeanNanos: m.svcSample.Mean(),
-		Wait:             m.waitSample.Summarize(),
+		ServiceMeanNanos: m.rec.ServiceMean(),
+		Wait:             m.rec.Wait(),
 		BlockedArrivals:  m.blockedArrivals,
 		ReplyStalls:      m.replyStalls,
+		Timeline:         m.rec.Timeline(),
 	}
 	for i, cl := range m.wl.Classes {
-		r.ClassLatency[cl.Name] = m.classLat[i].Summarize()
+		r.ClassLatency[cl.Name] = m.rec.Class(i)
 	}
 
-	if m.measEnd > m.measStart {
+	if start, end := m.rec.Window(); end > start {
 		// The window spans completion Warmup+1 through Warmup+Measure:
 		// measured−1 inter-completion intervals, the same convention the
 		// queueing and cluster models use.
 		measured := m.completed - m.cfg.Warmup
-		span := m.measEnd.Sub(m.measStart).Nanos()
+		span := end.Sub(start).Nanos()
 		r.ThroughputMRPS = float64(measured-1) / span * 1000
 	}
 
@@ -80,13 +89,13 @@ func (m *Machine) result() Result {
 	} else {
 		r.SLONanos = m.wl.SLOFactor * r.ServiceMeanNanos
 	}
-	r.MeetsSLO = !m.timedOut && m.latency.Count() > 0 && r.Latency.P99 <= r.SLONanos
+	r.MeetsSLO = !m.timedOut && r.Latency.Count > 0 && r.Latency.P99 <= r.SLONanos
 
 	now := m.eng.Now()
 	for _, c := range m.cores {
 		u := 0.0
 		if now > 0 {
-			u = float64(c.busyTime) / float64(now)
+			u = float64(m.rec.BusyTotal(c.id)) / float64(now)
 		}
 		r.CoreUtilization = append(r.CoreUtilization, u)
 	}

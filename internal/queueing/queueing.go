@@ -20,6 +20,7 @@ import (
 
 	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/dist"
+	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/stats"
@@ -40,6 +41,9 @@ type Config struct {
 	Warmup  int // requests discarded before measuring
 	Measure int // requests measured
 	Seed    uint64
+	// Epoch sets the Result timeline's initial epoch length; 0 uses the
+	// metrics default (1 µs, doubling as the run outgrows it).
+	Epoch sim.Duration
 }
 
 func (c Config) validate() error {
@@ -66,6 +70,10 @@ type Result struct {
 	Wait       stats.Summary
 	Throughput float64 // completions per ns over the measurement window
 	MeanSvc    float64 // E[S] of the service distribution used
+	// Timeline is the epoch-sliced view of the whole run (warmup
+	// included): per-epoch throughput, sojourn/wait percentiles, queue
+	// depth, and server utilization.
+	Timeline metrics.Timeline
 }
 
 // station is one FIFO queue with U servers.
@@ -118,10 +126,12 @@ func Run(cfg Config) (Result, error) {
 		stations[i] = &station{idle: cfg.ServersPerQueue}
 	}
 
-	var latency, wait stats.Sample
 	completed := 0
 	target := cfg.Warmup + cfg.Measure
-	var measStart, measEnd sim.Time
+	rec := metrics.NewRecorder(metrics.Config{
+		Servers:    totalServers,
+		EpochNanos: cfg.Epoch.Nanos(),
+	})
 	arr := arrival.ResolvePerNs(cfg.Arrival, lambda)
 
 	var startService func(st *station, arrived sim.Time)
@@ -129,18 +139,23 @@ func Run(cfg Config) (Result, error) {
 		st.idle--
 		began := eng.Now()
 		svc := sim.FromNanos(cfg.Service.Sample(svcRNG))
+		rec.Busy(began, 0, svc)
 		eng.Schedule(svc, func() {
 			completed++
-			if completed > cfg.Warmup && completed <= target {
-				if completed == cfg.Warmup+1 {
-					measStart = eng.Now()
-				}
-				latency.Add(eng.Now().Sub(arrived).Nanos())
-				wait.Add(began.Sub(arrived).Nanos())
-				if completed == target {
-					measEnd = eng.Now()
-					eng.Stop()
-				}
+			if completed > cfg.Warmup && completed <= target && completed == cfg.Warmup+1 {
+				rec.OpenWindow(eng.Now())
+			}
+			rec.Complete(eng.Now(), metrics.Completion{
+				Class:     -1,
+				Measured:  true,
+				LatencyNs: eng.Now().Sub(arrived).Nanos(),
+				WaitNs:    began.Sub(arrived).Nanos(),
+				ServiceNs: -1,
+				Depth:     st.depth(),
+			})
+			if completed == target {
+				rec.CloseWindow(eng.Now())
+				eng.Stop()
 			}
 			st.idle++
 			if next, ok := st.pop(); ok {
@@ -164,13 +179,14 @@ func Run(cfg Config) (Result, error) {
 	eng.Run()
 
 	res := Result{
-		Config:  cfg,
-		Latency: latency.Summarize(),
-		Wait:    wait.Summarize(),
-		MeanSvc: meanSvc,
+		Config:   cfg,
+		Latency:  rec.Latency(),
+		Wait:     rec.Wait(),
+		MeanSvc:  meanSvc,
+		Timeline: rec.Timeline(),
 	}
-	if span := measEnd.Sub(measStart); span > 0 {
-		res.Throughput = float64(cfg.Measure-1) / span.Nanos()
+	if start, end := rec.Window(); end > start {
+		res.Throughput = float64(cfg.Measure-1) / end.Sub(start).Nanos()
 	}
 	return res, nil
 }

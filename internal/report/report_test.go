@@ -1,9 +1,13 @@
 package report
 
 import (
+	"bytes"
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"rpcvalet/internal/metrics"
+	"rpcvalet/internal/stats"
 )
 
 func sample() *Table {
@@ -91,4 +95,49 @@ func TestAddRowPanicsOnMismatch(t *testing.T) {
 		}
 	}()
 	NewTable("t", "a", "b").AddRow("only-one")
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline([]float64{0, 1, 2, 4}); got != "▁▂▄█" {
+		t.Fatalf("sparkline = %q", got)
+	}
+	if got := Sparkline([]float64{0, 0}); got != "▁▁" {
+		t.Fatalf("all-zero sparkline = %q", got)
+	}
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+}
+
+func TestTimelineTable(t *testing.T) {
+	tl := metrics.Timeline{
+		EpochNanos: 1000,
+		Epochs: []metrics.EpochStats{
+			{StartNanos: 0, EndNanos: 1000, Completions: 10, ThroughputMRPS: 10,
+				Latency: stats.Summary{P50: 100, P99: 300}, MeanDepth: 1.5, MaxDepth: 3, Utilization: 0.4},
+			{StartNanos: 1000, EndNanos: 2000, Completions: 20, ThroughputMRPS: 20,
+				Latency: stats.Summary{P50: 120, P99: 900}, MeanDepth: 2.5, MaxDepth: 6, Utilization: 0.8},
+		},
+	}
+	tbl := TimelineTable("tl", tl)
+	if len(tbl.Rows) != 2 || len(tbl.Columns) != 9 {
+		t.Fatalf("table shape %dx%d", len(tbl.Rows), len(tbl.Columns))
+	}
+	var buf bytes.Buffer
+	if err := tbl.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"thr_mrps", "p99_ns", "0–1", "900"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline table missing %q:\n%s", want, out)
+		}
+	}
+	spark := TimelineSpark(tl)
+	if !strings.Contains(spark, "p99") || !strings.Contains(spark, "peak 900ns") {
+		t.Fatalf("spark = %q", spark)
+	}
+	if TimelineSpark(metrics.Timeline{}) != "(empty timeline)" {
+		t.Fatal("empty spark")
+	}
 }

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"rpcvalet/internal/metrics"
+)
+
+// sparkRunes are the eight block heights a sparkline cell can take.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a row of unicode block characters scaled to
+// the series' maximum. Zeros (and an all-zero series) render as the lowest
+// block, so a flat line still shows where observations exist.
+func Sparkline(values []float64) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if max > 0 && v > 0 {
+			idx = int(v / max * float64(len(sparkRunes)-1))
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[idx])
+	}
+	return b.String()
+}
+
+// TimelineTable renders an epoch-sliced timeline as a table: one row per
+// epoch with the window, throughput, latency percentiles, queue depth, and
+// utilization — the time-resolved counterpart of the steady-state summary
+// tables.
+func TimelineTable(title string, tl metrics.Timeline) *Table {
+	t := NewTable(title, "epoch", "t_us", "completions", "thr_mrps",
+		"p50_ns", "p99_ns", "mean_depth", "max_depth", "util")
+	for i, e := range tl.Epochs {
+		t.AddRowf(i, fmt.Sprintf("%.0f–%.0f", e.StartNanos/1000, e.EndNanos/1000),
+			e.Completions, e.ThroughputMRPS,
+			e.Latency.P50, e.Latency.P99, e.MeanDepth, e.MaxDepth, e.Utilization)
+	}
+	return t
+}
+
+// TimelineSpark renders a compact two-line view of a timeline: a p99
+// sparkline and a throughput sparkline, labeled with their peaks. It is the
+// at-a-glance transient fingerprint CLI output leads with.
+func TimelineSpark(tl metrics.Timeline) string {
+	if len(tl.Epochs) == 0 {
+		return "(empty timeline)"
+	}
+	p99s := tl.P99s()
+	thr := make([]float64, len(tl.Epochs))
+	maxP99, maxThr := 0.0, 0.0
+	for i, e := range tl.Epochs {
+		thr[i] = e.ThroughputMRPS
+		if e.ThroughputMRPS > maxThr {
+			maxThr = e.ThroughputMRPS
+		}
+		if p99s[i] > maxP99 {
+			maxP99 = p99s[i]
+		}
+	}
+	return fmt.Sprintf("p99 %s peak %.0fns\nthr %s peak %.2fMRPS (epoch %.0fus)",
+		Sparkline(p99s), maxP99, Sparkline(thr), maxThr, tl.EpochNanos/1000)
+}

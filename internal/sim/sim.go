@@ -16,6 +16,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Time is a point in virtual time, in picoseconds since the start of the
@@ -54,6 +56,34 @@ func FromNanos(ns float64) Duration {
 
 // FromMicros converts a duration expressed in microseconds to a Duration.
 func FromMicros(us float64) Duration { return FromNanos(us * 1e3) }
+
+// ParseDuration parses a virtual-time span written with an optional unit
+// suffix: "500ns", "50us", "1.5ms", "2s", or a bare number meaning
+// nanoseconds ("500"). It is the shared grammar of every CLI flag and spec
+// string that names a simulated time.
+func ParseDuration(s string) (Duration, error) {
+	str := strings.TrimSpace(s)
+	unit := 1.0 // ns
+	switch {
+	case strings.HasSuffix(str, "ns"):
+		str = str[:len(str)-2]
+	case strings.HasSuffix(str, "us"), strings.HasSuffix(str, "µs"):
+		str = strings.TrimSuffix(strings.TrimSuffix(str, "us"), "µs")
+		unit = 1e3
+	case strings.HasSuffix(str, "ms"):
+		str, unit = str[:len(str)-2], 1e6
+	case strings.HasSuffix(str, "s"):
+		str, unit = str[:len(str)-1], 1e9
+	}
+	v, err := strconv.ParseFloat(str, 64)
+	if err != nil {
+		return 0, fmt.Errorf("sim: bad duration %q (want e.g. 500ns, 50us, 1.5ms)", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("sim: negative duration %q", s)
+	}
+	return FromNanos(v * unit), nil
+}
 
 // Add returns the time d after t.
 func (t Time) Add(d Duration) Time { return t + Time(d) }

@@ -43,6 +43,9 @@ func (s *Sample) Add(v float64) {
 // Count reports the number of observations recorded.
 func (s *Sample) Count() int { return len(s.values) }
 
+// Sum returns the running sum of all observations.
+func (s *Sample) Sum() float64 { return s.sum }
+
 // Mean returns the arithmetic mean, or 0 when empty.
 func (s *Sample) Mean() float64 {
 	if len(s.values) == 0 {
@@ -110,9 +113,33 @@ func (s *Sample) Reset() {
 	s.sum, s.sumSq, s.min, s.max = 0, 0, 0, 0
 }
 
-// Values returns the recorded observations (sorted if a quantile has been
-// computed). The caller must not modify the returned slice.
-func (s *Sample) Values() []float64 { return s.values }
+// Values returns a copy of the recorded observations (sorted if a quantile
+// has been computed). The copy is the caller's to keep: mutating it cannot
+// corrupt the collector's internal state.
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// Merge folds all of o's observations into s, as if every o.Add had been
+// replayed onto s in insertion order. o is unchanged. Merging an empty
+// sample is a no-op.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.values) == 0 {
+		return
+	}
+	if len(s.values) == 0 || o.min < s.min {
+		s.min = o.min
+	}
+	if len(s.values) == 0 || o.max > s.max {
+		s.max = o.max
+	}
+	s.values = append(s.values, o.values...)
+	s.sorted = false
+	s.sum += o.sum
+	s.sumSq += o.sumSq
+}
 
 // Summary is a compact set of tail statistics, suitable for tables.
 type Summary struct {
@@ -260,6 +287,37 @@ func (h *Histogram) Quantile(p float64) float64 {
 
 // P99 is shorthand for Quantile(0.99).
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// Merge folds all of o's observations into h, as if every o.Add had been
+// replayed onto h. The two histograms must share a domain (min, max,
+// precision); merging across domains would silently redistribute mass, so it
+// is an error. o is unchanged; merging an empty histogram is a no-op.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if o.min != h.min || o.max != h.max || o.growth != h.growth {
+		return fmt.Errorf("stats: merging histogram domain [%g,%g]×%g into [%g,%g]×%g",
+			o.min, o.max, o.growth, h.min, h.max, h.growth)
+	}
+	if o.total == 0 {
+		return nil
+	}
+	if h.total == 0 || o.observedMax > h.observedMax {
+		h.observedMax = o.observedMax
+	}
+	if h.total == 0 || o.observedMin < h.observedMin {
+		h.observedMin = o.observedMin
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.underflow += o.underflow
+	h.overflow += o.overflow
+	h.sum += o.sum
+	return nil
+}
 
 // Reset discards all observations, retaining the configured domain.
 func (h *Histogram) Reset() {

@@ -260,3 +260,123 @@ func TestSampleValues(t *testing.T) {
 		t.Fatalf("values after sort = %v", vals)
 	}
 }
+
+func TestSampleValuesDefensiveCopy(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{5, 2, 9} {
+		s.Add(v)
+	}
+	vals := s.Values()
+	vals[0], vals[1], vals[2] = -1, -1, -1 // scribble on the copy
+	if got := s.Quantile(0.5); got != 5 {
+		t.Fatalf("median after mutating Values() copy = %v, want 5", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max corrupted: %v/%v", s.Min(), s.Max())
+	}
+}
+
+// TestSampleMerge cross-validates Merge against a single sample fed every
+// observation directly: counts, moments, extrema, and quantiles must agree
+// exactly.
+func TestSampleMerge(t *testing.T) {
+	r := rng.New(11)
+	var whole, a, b, c Sample
+	for i := 0; i < 3000; i++ {
+		v := math.Exp(r.NormFloat64())
+		whole.Add(v)
+		switch i % 3 {
+		case 0:
+			a.Add(v)
+		case 1:
+			b.Add(v)
+		default:
+			c.Add(v)
+		}
+	}
+	var merged Sample
+	merged.Merge(&a)
+	merged.Merge(&b)
+	merged.Merge(&c)
+	merged.Merge(&Sample{}) // empty merge is a no-op
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count = %d, want %d", merged.Count(), whole.Count())
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("extrema diverge: min %v/%v max %v/%v",
+			merged.Min(), whole.Min(), merged.Max(), whole.Max())
+	}
+	// Summation order differs between the split and whole paths, so the
+	// sums agree only to floating-point roundoff.
+	if rel := math.Abs(merged.Sum()-whole.Sum()) / whole.Sum(); rel > 1e-12 {
+		t.Fatalf("sum = %v, want %v (rel err %g)", merged.Sum(), whole.Sum(), rel)
+	}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q%.2f = %v, want %v", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+	// Merging into an empty sample adopts the source's extrema.
+	var fresh Sample
+	fresh.Merge(&a)
+	if fresh.Min() != a.Min() || fresh.Max() != a.Max() || fresh.Count() != a.Count() {
+		t.Fatal("merge into empty sample lost state")
+	}
+}
+
+// TestHistogramMerge cross-validates Histogram.Merge against both a single
+// histogram and an exact Sample over the same observations.
+func TestHistogramMerge(t *testing.T) {
+	const prec = 0.01
+	r := rng.New(12)
+	whole := NewHistogram(1, 1e7, prec)
+	a := NewHistogram(1, 1e7, prec)
+	b := NewHistogram(1, 1e7, prec)
+	var exact Sample
+	for i := 0; i < 5000; i++ {
+		v := 100 * math.Exp(r.NormFloat64())
+		whole.Add(v)
+		exact.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	merged := NewHistogram(1, 1e7, prec)
+	if err := merged.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != whole.Count() {
+		t.Fatalf("count = %d, want %d", merged.Count(), whole.Count())
+	}
+	// Summation order differs between the split and whole paths, so the
+	// means agree only to floating-point roundoff.
+	if rel := math.Abs(merged.Mean()-whole.Mean()) / whole.Mean(); rel > 1e-12 {
+		t.Fatalf("mean = %v, want %v (rel err %g)", merged.Mean(), whole.Mean(), rel)
+	}
+	if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("extrema = %v/%v, want %v/%v", merged.Min(), merged.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := merged.Quantile(q), whole.Quantile(q); got != want {
+			t.Fatalf("q%.2f = %v, want %v (merge must be exact on equal domains)", q, got, want)
+		}
+		// And both must stay within the configured relative error of the
+		// exact order statistic.
+		got, want := merged.Quantile(q), exact.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 2.5*prec {
+			t.Fatalf("q%.2f = %v vs exact %v (rel err %.4f)", q, got, want, rel)
+		}
+	}
+	// Mismatched domains must be rejected.
+	if err := merged.Merge(NewHistogram(1, 1e6, prec)); err == nil {
+		t.Fatal("merge across domains accepted")
+	}
+	if err := merged.Merge(NewHistogram(1, 1e7, 0.05)); err == nil {
+		t.Fatal("merge across precisions accepted")
+	}
+}

@@ -57,6 +57,19 @@
 // canned plan for Params.Mode, byte-for-byte reproducing historical result
 // streams. Build plans with ParseDispatchPlan or the machine constructors;
 // Cluster.NodePlans assigns plans node by node for heterogeneous racks.
+//
+// # Transients & faults
+//
+// Every Result carries a Timeline: the run sliced into fixed virtual-time
+// epochs, each with its own throughput, latency percentiles, queue depth,
+// and utilization — the time-resolved view that makes transients visible.
+// Two scenario axes drive them: ArrivalModulated wraps any arrival process
+// with a rate Envelope (Step, Pulse, Ramp, SquareWave), and degraded-node
+// injection (Config.Slowdown/Pauses on a machine, Cluster.Faults per node)
+// models slow or stalling servers. The "transient" figure checks that
+// single-queue NI dispatch recovers from a 2× load pulse in fewer epochs
+// than the partitioned baseline, and that queue-aware cluster balancing
+// widens its advantage when a node degrades.
 package rpcvalet
 
 import (
@@ -66,6 +79,7 @@ import (
 	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/core"
 	"rpcvalet/internal/machine"
+	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/ni"
 	"rpcvalet/internal/queueing"
 	"rpcvalet/internal/sim"
@@ -195,6 +209,89 @@ func ArrivalMMPP2(rateMRPS, burstRatio, calmDwellNanos, burstDwellNanos float64)
 func ArrivalLognormal(rateMRPS, sigma float64) ArrivalProcess {
 	return arrival.LognormalAtMRPS(rateMRPS, sigma)
 }
+
+// Duration is a span of virtual time in integer picoseconds — the type of
+// every duration-valued config field (Epoch, MaxSimTime, Cluster.Hop,
+// Pause windows).
+type Duration = sim.Duration
+
+// Virtual-time units for duration-valued config fields.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
+
+// ParseDuration parses a virtual-time span with an optional unit suffix:
+// "500ns", "50us", "1.5ms", "2s", or a bare nanosecond count.
+func ParseDuration(s string) (Duration, error) { return sim.ParseDuration(s) }
+
+// Envelope is a deterministic rate-modulation profile over virtual time — a
+// factor multiplying a base arrival process's instantaneous rate. Build one
+// with EnvelopeStep/Pulse/Ramp/SquareWave or ParseEnvelope, then wrap any
+// arrival process with ArrivalModulated.
+type Envelope = arrival.Envelope
+
+// ArrivalModulated wraps base with a rate envelope: the traffic's shape (gap
+// CV, burst structure) is preserved while its instantaneous rate follows
+// base-rate × envelope factor. Config.RateMRPS keeps meaning the factor-1
+// rate, so sweeps re-rate the base as usual.
+func ArrivalModulated(base ArrivalProcess, env Envelope) ArrivalProcess {
+	return arrival.NewModulated(base, env)
+}
+
+// EnvelopeStep holds factor 1 until atNanos, then factor forever — a load
+// step.
+func EnvelopeStep(atNanos, factor float64) Envelope { return arrival.NewStep(atNanos, factor) }
+
+// EnvelopePulse holds factor over [startNanos, startNanos+durNanos) — a
+// bounded overload burst.
+func EnvelopePulse(startNanos, durNanos, factor float64) Envelope {
+	return arrival.NewPulse(startNanos, durNanos, factor)
+}
+
+// EnvelopeRamp interpolates from 1× to factor× over durNanos starting at
+// startNanos, holding factor afterward.
+func EnvelopeRamp(startNanos, durNanos, factor float64) Envelope {
+	return arrival.NewRamp(startNanos, durNanos, factor)
+}
+
+// EnvelopeSquareWave alternates factor (for highNanos at the start of each
+// period) with 1 — sustained periodic bursting.
+func EnvelopeSquareWave(periodNanos, highNanos, factor float64) Envelope {
+	return arrival.NewSquareWave(periodNanos, highNanos, factor)
+}
+
+// ParseEnvelope parses the CLI -modulate grammar: "step@400us:x2",
+// "pulse@400us+200us:x2", "ramp@100us+500us:x3", "square@200us/50us:x2.5".
+func ParseEnvelope(spec string) (Envelope, error) { return arrival.ParseEnvelope(spec) }
+
+// Timeline is the epoch-sliced, time-resolved view every Result now carries:
+// per-epoch throughput, latency and wait percentiles, queue depth, and
+// utilization over the whole run.
+type Timeline = metrics.Timeline
+
+// EpochStats is one Timeline slice.
+type EpochStats = metrics.EpochStats
+
+// Pause is a stall window: a core beginning work inside it stalls until the
+// window ends (a GC pause or power event). Set on Config.Pauses or a
+// cluster NodeFault.
+type Pause = machine.Pause
+
+// Fault bundles one machine's degradation (service slowdown + pauses);
+// ParseFault reads the "-degrade" grammar ("x1.5", "pause@200us+100us").
+type Fault = machine.Fault
+
+// ParseFault parses the single-machine -degrade grammar.
+func ParseFault(spec string) (Fault, error) { return machine.ParseFault(spec) }
+
+// NodeFault assigns one cluster node a fault. Set on Cluster.Faults.
+type NodeFault = cluster.NodeFault
+
+// ParseNodeFaults parses the cluster -degrade grammar: semicolon-separated
+// "NODE:FAULT" entries, e.g. "0:x1.5;3:pause@500us+100us".
+func ParseNodeFaults(spec string) ([]NodeFault, error) { return cluster.ParseFaults(spec) }
 
 // Curve is a measured latency-throughput series for one configuration.
 type Curve = core.Curve

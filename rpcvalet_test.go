@@ -227,3 +227,84 @@ func ExampleRun() {
 	fmt.Printf("mode=%s meets SLO=%v\n", res.Mode, res.MeetsSLO)
 	// Output: mode=rpcvalet-1x16 meets SLO=true
 }
+
+// TestTransientAPI exercises the transient-telemetry surface end to end
+// through the public facade: modulated arrivals, fault injection, duration
+// parsing, and the Timeline every Result carries.
+func TestTransientAPI(t *testing.T) {
+	env, err := rpcvalet.ParseEnvelope("pulse@200us+100us:x2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := rpcvalet.ParseDuration("25us")
+	if err != nil || epoch != 25*rpcvalet.Microsecond {
+		t.Fatalf("ParseDuration: %v %v", epoch, err)
+	}
+	fault, err := rpcvalet.ParseFault("x1.3,pause@350us+50us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpcvalet.Config{
+		Params:   rpcvalet.DefaultParams(),
+		Workload: rpcvalet.HERD(),
+		RateMRPS: 8,
+		Arrival:  rpcvalet.ArrivalModulated(rpcvalet.ArrivalPoisson(8), env),
+		Warmup:   300,
+		Measure:  6000,
+		Seed:     3,
+		Epoch:    epoch,
+		Slowdown: fault.Slowdown,
+		Pauses:   fault.Pauses,
+	}
+	res, err := rpcvalet.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Timeline.EpochNanos != 25000 || len(res.Timeline.Epochs) == 0 {
+		t.Fatalf("timeline not populated: %+v", res.Timeline)
+	}
+	total := 0
+	for _, e := range res.Timeline.Epochs {
+		total += e.Completions
+	}
+	if total != res.Completed {
+		t.Fatalf("timeline completions %d != %d", total, res.Completed)
+	}
+
+	faults, err := rpcvalet.ParseNodeFaults("0:x1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := rpcvalet.ClusterPolicyByName("jsq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := rpcvalet.Synthetic("exp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := rpcvalet.DefaultCluster(2, wl, pol)
+	ccfg.Faults = faults
+	ccfg.Warmup, ccfg.Measure = 300, 4000
+	ccfg.Epoch = epoch
+	cres, err := rpcvalet.RunCluster(ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cres.Timeline.Epochs) == 0 || len(cres.NodeTimelines) != 2 {
+		t.Fatalf("cluster timelines missing: %d agg epochs, %d nodes",
+			len(cres.Timeline.Epochs), len(cres.NodeTimelines))
+	}
+	if cres.NodeFaults[0] != "x1.5" || cres.NodeFaults[1] != "healthy" {
+		t.Fatalf("node fault labels = %v", cres.NodeFaults)
+	}
+	found := false
+	for _, id := range rpcvalet.FigureIDs() {
+		if id == "transient" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("transient figure not in FigureIDs: %v", rpcvalet.FigureIDs())
+	}
+}
