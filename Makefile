@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-json
+.PHONY: all build fmt vet test race bench bench-json live-smoke
 
 all: build test
 
@@ -23,12 +23,21 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' .
 
+# live-smoke runs the live goroutine runtime's rate-limited smoke tests:
+# every queue shape end to end in ~100 ms windows, asserting completion
+# counts only, so it stays green on noisy or single-core machines.
+live-smoke:
+	$(GO) test -short -run 'TestLive' -v ./internal/live
+
 # bench-json emits machine-readable benchmark results (BENCH_*.json) for the
-# performance trajectory: the engine's scheduling hot path and the two
+# performance trajectory: the engine's scheduling hot path, the two
 # figure-regeneration benches that exercise the dispatch-plan and
-# transient-telemetry layers end to end. CI uploads these as artifacts.
+# transient-telemetry layers end to end, and the live runtime's wall-clock
+# shape comparison. CI uploads these as artifacts.
 bench-json:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineSchedule$$' -benchmem ./internal/sim \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
 	$(GO) test -run='^$$' -bench='^(BenchmarkFigPolicyPlans|BenchmarkFigTransient)$$' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_figures.json
+	$(GO) test -run='^$$' -bench='^BenchmarkLiveShapes$$' -benchtime=1x ./internal/live \
+		| $(GO) run ./cmd/benchjson > BENCH_live.json

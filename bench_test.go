@@ -67,6 +67,10 @@ func BenchmarkFigBurstArrivals(b *testing.B)       { regen(b, "burst") }
 func BenchmarkFigPolicyPlans(b *testing.B)         { regen(b, "policy") }
 func BenchmarkFigTransient(b *testing.B)           { regen(b, "transient") }
 
+// BenchmarkFigLive regenerates the live-runtime figure: wall-clock goroutine
+// runs, so its ns/op measures real serving windows, not simulator speed.
+func BenchmarkFigLive(b *testing.B) { regen(b, "live") }
+
 // --- Ablation benchmarks (design choices called out in DESIGN.md) --------
 
 func BenchmarkAblationOutstanding(b *testing.B)    { regen(b, "ablation-outstanding") }

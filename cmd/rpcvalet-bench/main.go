@@ -5,6 +5,7 @@
 // Usage:
 //
 //	rpcvalet-bench [-fig 7a] [-quick] [-format text|csv|json] [-seed N]
+//	               [-workers N]
 //
 // Without -fig it regenerates every registered figure in order. EXPERIMENTS.md
 // is produced from this command's output.
@@ -22,11 +23,12 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "", "figure to regenerate (e.g. 2a, 7c, table1); empty = all")
-		quick  = flag.Bool("quick", false, "use small sample counts (noisier, much faster)")
-		format = flag.String("format", "text", "output format: text, csv, or json")
-		seed   = flag.Uint64("seed", 42, "experiment seed")
-		points = flag.Int("points", 0, "points per curve (0 = scale default)")
+		fig     = flag.String("fig", "", "figure to regenerate (e.g. 2a, 7c, table1); empty = all")
+		quick   = flag.Bool("quick", false, "use small sample counts (noisier, much faster)")
+		format  = flag.String("format", "text", "output format: text, csv, or json")
+		seed    = flag.Uint64("seed", 42, "experiment seed")
+		points  = flag.Int("points", 0, "points per curve (0 = scale default)")
+		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -37,6 +39,9 @@ func main() {
 	opts.Seed = *seed
 	if *points > 0 {
 		opts.Points = *points
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
 	}
 
 	ids := core.FigureIDs

@@ -11,7 +11,7 @@
 //	                 [-points 8] [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
 //	                 [-modulate pulse@400us+200us:x2] [-degrade 0:x1.5]
 //	                 [-epoch 25us] [-timeline]
-//	                 [-warmup 2000] [-measure 20000] [-seed 1]
+//	                 [-warmup 2000] [-measure 20000] [-seed 1] [-workers N]
 //	                 [-format text|csv|json] [-detail]
 //
 // Modes name the per-node NI dispatch model: 1x16 (RPCValet), 4x4, 16x1
@@ -65,6 +65,7 @@ func main() {
 		degrade  = flag.String("degrade", "", "per-node faults: NODE:FAULT list, e.g. 0:x1.5;3:pause@500us+100us")
 		epoch    = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
 		timeline = flag.Bool("timeline", false, "print the highest-load point's timelines (first policy)")
+		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -186,7 +187,7 @@ func main() {
 		for i, f := range loads {
 			rates[i] = f * capacity
 		}
-		curve, err := rpcvalet.ClusterSweep(cfg, rates, name)
+		curve, err := rpcvalet.ClusterSweepWorkers(cfg, rates, name, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
 			os.Exit(1)

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"rpcvalet/internal/machine"
@@ -29,17 +30,20 @@ type Options struct {
 	Points    int // points per latency-throughput curve
 	KneeIters int // bisection steps refining each curve's SLO knee
 	Seed      uint64
-	Workers   int // concurrent simulations (each is single-threaded); 0 = 4
+	Workers   int // concurrent simulations (each is single-threaded); 0 = NumCPU
 }
 
 // DefaultOptions sizes runs for figure regeneration (seconds per figure).
+// Sweeps fan out over all CPUs: each point is a single-threaded simulation,
+// so NumCPU workers is the throughput-optimal cap (results are
+// worker-count-independent).
 func DefaultOptions() Options {
-	return Options{Warmup: 5000, Measure: 50000, QGen: 100000, Points: 10, KneeIters: 5, Seed: 42, Workers: 4}
+	return Options{Warmup: 5000, Measure: 50000, QGen: 100000, Points: 10, KneeIters: 5, Seed: 42, Workers: runtime.NumCPU()}
 }
 
 // QuickOptions sizes runs for benchmarks and smoke tests.
 func QuickOptions() Options {
-	return Options{Warmup: 1000, Measure: 10000, QGen: 20000, Points: 6, KneeIters: 3, Seed: 42, Workers: 4}
+	return Options{Warmup: 1000, Measure: 10000, QGen: 20000, Points: 6, KneeIters: 3, Seed: 42, Workers: runtime.NumCPU()}
 }
 
 // Claim is one checkable statement from the paper, with the measured
@@ -203,7 +207,7 @@ func GeometricRateGrid(capacity float64, lo, hi float64, n int) []float64 {
 // results in index order. The first error aborts the whole sweep.
 func runPoints[P any](n, workers int, point func(i int) (P, error)) ([]P, error) {
 	if workers <= 0 {
-		workers = 4
+		workers = runtime.NumCPU()
 	}
 	points := make([]P, n)
 	errs := make([]error, n)

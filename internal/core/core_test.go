@@ -1,8 +1,11 @@
 package core
 
 import (
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/cluster"
@@ -133,6 +136,97 @@ func TestFigureStructure(t *testing.T) {
 			if len(tbl.Rows) == 0 {
 				t.Errorf("%s: empty table %q", id, tbl.Title)
 			}
+		}
+	}
+}
+
+// TestRunPointsHonorsWorkerCap is the oversubscription regression test: an
+// atomic high-water-mark counter in the point fn proves Options.Workers is a
+// true cap on concurrently running simulations. (figCluster once spawned a
+// goroutine per (mode, policy) cell around a parallel ClusterSweep,
+// multiplying concurrency to cells × Workers; every sweep now runs through
+// this one pool.)
+// concurrencyHighWater runs n points through runPoints at the given cap,
+// with each point holding its slot for `hold` so any overlap beyond the cap
+// would register, and returns the atomic high-water mark of concurrently
+// running points.
+func concurrencyHighWater(t *testing.T, n, workers int, hold time.Duration) int {
+	t.Helper()
+	var cur, high atomic.Int32
+	_, err := runPoints(n, workers, func(i int) (int, error) {
+		c := cur.Add(1)
+		for {
+			h := high.Load()
+			if c <= h || high.CompareAndSwap(h, c) {
+				break
+			}
+		}
+		time.Sleep(hold)
+		cur.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(high.Load())
+}
+
+func TestRunPointsHonorsWorkerCap(t *testing.T) {
+	const workers = 3
+	got := concurrencyHighWater(t, 24, workers, 2*time.Millisecond)
+	if got > workers {
+		t.Fatalf("observed %d concurrent points, cap is %d", got, workers)
+	}
+	if got < 1 {
+		t.Fatalf("high-water mark %d never registered a running point", got)
+	}
+}
+
+// TestRunPointsDefaultCap: a zero worker count falls back to NumCPU, never
+// unbounded.
+func TestRunPointsDefaultCap(t *testing.T) {
+	if got, limit := concurrencyHighWater(t, 64, 0, time.Millisecond), runtime.NumCPU(); got > limit {
+		t.Fatalf("observed %d concurrent points with a zero cap, NumCPU is %d", got, limit)
+	}
+}
+
+// TestFigClusterDeterministic: the flattened figCluster must produce
+// identical tables and claims for any worker cap — the property that made
+// flattening the per-cell goroutine pool result-identical.
+func TestFigClusterDeterministic(t *testing.T) {
+	o := tinyOptions()
+	o.Points = 2
+	o.Measure = 2000
+	run := func(workers int) Figure {
+		o := o
+		o.Workers = workers
+		fig, err := figCluster(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig
+	}
+	a, b := run(1), run(8)
+	if len(a.Tables) != len(b.Tables) {
+		t.Fatalf("table count differs: %d vs %d", len(a.Tables), len(b.Tables))
+	}
+	for ti := range a.Tables {
+		at, bt := a.Tables[ti], b.Tables[ti]
+		if len(at.Rows) != len(bt.Rows) {
+			t.Fatalf("table %q row count differs", at.Title)
+		}
+		for ri := range at.Rows {
+			for ci := range at.Rows[ri] {
+				if at.Rows[ri][ci] != bt.Rows[ri][ci] {
+					t.Fatalf("table %q cell [%d][%d] differs across worker caps: %v vs %v",
+						at.Title, ri, ci, at.Rows[ri][ci], bt.Rows[ri][ci])
+				}
+			}
+		}
+	}
+	for i := range a.Claims {
+		if a.Claims[i] != b.Claims[i] {
+			t.Fatalf("claim %d differs across worker caps:\n  %s\n  %s", i, a.Claims[i], b.Claims[i])
 		}
 	}
 }
@@ -468,6 +562,25 @@ func TestFigurePolicyClaims(t *testing.T) {
 		if !c.Ok {
 			t.Errorf("claim failed: %s", c)
 		}
+	}
+	// The random-of-2 recovery claim is enforced by name: it was the
+	// EXPERIMENTS.md known-flaky cell until its estimator moved to median
+	// recovery over the top SLO-meeting loads, and a silent rename or
+	// removal must not let it regress to a single-point statistic.
+	found := false
+	for _, c := range fig.Claims {
+		if strings.HasPrefix(c.Name, "random-of-2 recovers") {
+			found = true
+			if !c.Ok {
+				t.Errorf("deflaked recovery claim failed: %s", c)
+			}
+			if !strings.Contains(c.Measured, "median over top") {
+				t.Errorf("recovery claim regressed to a single-point estimator: %s", c.Measured)
+			}
+		}
+	}
+	if !found {
+		t.Error("random-of-2 recovery claim missing from the policy figure")
 	}
 }
 

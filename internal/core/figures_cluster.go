@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/machine"
@@ -95,40 +94,38 @@ func figCluster(o Options) (Figure, error) {
 		mode   machine.Mode
 		policy string
 	}
-	curves := make(map[key]cluster.Curve)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(hwModes)*len(cluster.PolicyNames))
+	var cells []key
 	for _, mode := range hwModes {
 		for _, polName := range cluster.PolicyNames {
-			mode, polName := mode, polName
-			pol, err := cluster.PolicyByName(polName)
-			if err != nil {
-				return Figure{}, err
-			}
-			base := clusterBase(o, wl, mode, pol)
-			rates := make([]float64, len(loads))
-			for i, f := range loads {
-				rates[i] = f * ClusterCapacityMRPS(base)
-			}
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				c, err := ClusterSweep(base, rates, polName+"/"+modeShort(mode), o.Workers)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				mu.Lock()
-				curves[key{mode, polName}] = c
-				mu.Unlock()
-			}()
+			cells = append(cells, key{mode, polName})
 		}
 	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
+	// One layer of concurrency: runPoints fans out over the (mode, policy)
+	// cells and each cell runs its sweep sequentially (workers=1), so
+	// o.Workers caps the number of in-flight simulations exactly. (An
+	// earlier version spawned a goroutine per cell around a parallel
+	// ClusterSweep, multiplying concurrency to cells × o.Workers.)
+	// ClusterSweep's points are deterministic for any worker count, so the
+	// flattening is result-identical.
+	cellCurves, err := runPoints(len(cells), o.Workers, func(i int) (cluster.Curve, error) {
+		c := cells[i]
+		pol, err := cluster.PolicyByName(c.policy)
+		if err != nil {
+			return cluster.Curve{}, err
+		}
+		base := clusterBase(o, wl, c.mode, pol)
+		rates := make([]float64, len(loads))
+		for j, f := range loads {
+			rates[j] = f * ClusterCapacityMRPS(base)
+		}
+		return ClusterSweep(base, rates, c.policy+"/"+modeShort(c.mode), 1)
+	})
+	if err != nil {
 		return Figure{}, err
+	}
+	curves := make(map[key]cluster.Curve, len(cells))
+	for i, c := range cells {
+		curves[c] = cellCurves[i]
 	}
 
 	fig := Figure{

@@ -1,0 +1,79 @@
+package live
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// spinUnit is one xorshift round — the unit of calibrated busy-work. The
+// calibration measures how many of these rounds fit in a nanosecond on the
+// host; serving a request then spins for serviceNanos × spinsPerNs rounds.
+// Xorshift keeps the loop's dependency chain serial (the compiler cannot
+// vectorize or elide it through the returned value), so the iteration rate
+// is stable across inputs.
+func spinRounds(n int64, seed uint64) uint64 {
+	x := seed | 1
+	for i := int64(0); i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// spinSink defeats dead-code elimination of spinRounds results. Workers fold
+// their private sinks into it once, at run end.
+var spinSink atomic.Uint64
+
+var (
+	calOnce    sync.Once
+	calSpinsNs float64
+)
+
+// calibrateSpin measures the host's spin rate in rounds per nanosecond. It
+// runs several ~100 µs probes and keeps the fastest: preemption and frequency
+// ramp-up only ever make a probe slower, so the max is the closest estimate
+// of the unobstructed rate (the same reasoning perf calibration loops in
+// spin-benchmark harnesses use). The result is cached for the process.
+func calibrateSpin() float64 {
+	calOnce.Do(func() {
+		const probe = 1 << 18 // ~100 µs at a few rounds/ns
+		best := 0.0
+		for r := 0; r < 7; r++ {
+			t0 := time.Now()
+			spinSink.Add(spinRounds(probe, uint64(r)+1))
+			el := time.Since(t0).Nanoseconds()
+			if el > 0 {
+				if rate := float64(probe) / float64(el); rate > best {
+					best = rate
+				}
+			}
+		}
+		if best <= 0 {
+			best = 1 // pathological clock; keep spin durations finite
+		}
+		calSpinsNs = best
+	})
+	return calSpinsNs
+}
+
+// waitUntil blocks until the wall clock reaches t. Far targets sleep (giving
+// the timer a margin so oversleep cannot push the release late by a full
+// quantum); near targets yield-spin, which keeps the release tight at µs
+// scale and — critically on machines with fewer cores than goroutines —
+// still lets the scheduler run workers and fire their timers between checks.
+func waitUntil(t time.Time) {
+	for {
+		d := time.Until(t)
+		switch {
+		case d <= 0:
+			return
+		case d > 2*time.Millisecond:
+			time.Sleep(d - time.Millisecond)
+		default:
+			runtime.Gosched()
+		}
+	}
+}

@@ -78,6 +78,7 @@ import (
 	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/core"
+	"rpcvalet/internal/live"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/ni"
@@ -300,9 +301,16 @@ type Curve = core.Curve
 type CurvePoint = core.CurvePoint
 
 // Sweep runs cfg at each offered rate (in MRPS) and returns the curve.
-// Points run concurrently; results are deterministic for a given seed.
+// Points run concurrently on up to NumCPU workers; results are deterministic
+// for a given seed regardless of the worker count.
 func Sweep(cfg Config, ratesMRPS []float64, label string) (Curve, error) {
 	return core.MachineSweep(cfg, ratesMRPS, label, 0)
+}
+
+// SweepWorkers is Sweep with an explicit cap on concurrently running
+// simulations (0 = NumCPU).
+func SweepWorkers(cfg Config, ratesMRPS []float64, label string, workers int) (Curve, error) {
+	return core.MachineSweep(cfg, ratesMRPS, label, workers)
 }
 
 // CapacityMRPS estimates the configuration's saturation throughput.
@@ -369,15 +377,60 @@ func DefaultCluster(n int, wl Profile, policy ClusterPolicy) Cluster {
 func RunCluster(cfg Cluster) (ClusterResult, error) { return cluster.Run(cfg) }
 
 // ClusterSweep runs cfg at each aggregate offered rate (in MRPS) and returns
-// the curve. Points run concurrently; results are deterministic for a given
-// seed.
+// the curve. Points run concurrently on up to NumCPU workers; results are
+// deterministic for a given seed regardless of the worker count.
 func ClusterSweep(cfg Cluster, ratesMRPS []float64, label string) (ClusterCurve, error) {
 	return core.ClusterSweep(cfg, ratesMRPS, label, 0)
+}
+
+// ClusterSweepWorkers is ClusterSweep with an explicit cap on concurrently
+// running simulations (0 = NumCPU).
+func ClusterSweepWorkers(cfg Cluster, ratesMRPS []float64, label string, workers int) (ClusterCurve, error) {
+	return core.ClusterSweep(cfg, ratesMRPS, label, workers)
 }
 
 // ClusterCapacityMRPS estimates the cluster's aggregate saturation
 // throughput: node count × single-node capacity.
 func ClusterCapacityMRPS(cfg Cluster) float64 { return core.ClusterCapacityMRPS(cfg) }
+
+// LiveConfig describes one run of the live goroutine runtime: the dispatch
+// plan's queue shape executed with real goroutines on wall-clock time,
+// serving calibrated spin-work (or timer-sleep, on oversubscribed hosts)
+// service times synthesized from a workload Profile, under an open-loop load
+// generator. See internal/live's package documentation and DESIGN.md §6 for
+// what wall-clock measurements do and do not validate.
+type LiveConfig = live.Config
+
+// LiveResult is the measured outcome of one live run, in the same shapes the
+// simulator results use (stats.Summary percentiles, a metrics.Timeline).
+type LiveResult = live.Result
+
+// LiveEmulation selects how a sampled service time occupies a live worker:
+// calibrated spin-work or a timer sleep.
+type LiveEmulation = live.Emulation
+
+// The live service-emulation modes.
+const (
+	// LiveAuto picks spin when the host has two cores beyond the worker
+	// count, else sleep.
+	LiveAuto = live.EmulationAuto
+	// LiveSpin burns calibrated busy-work: service genuinely occupies a CPU.
+	LiveSpin = live.EmulationSpin
+	// LiveSleep parks the goroutine on a timer: queueing stays wall-clock
+	// real while service consumes no CPU (the only honest option when
+	// workers outnumber cores).
+	LiveSleep = live.EmulationSleep
+)
+
+// RunLive executes one live configuration — real goroutines, wall-clock
+// time — and returns its measurements. The offered schedule (arrivals,
+// classes, service draws) is deterministic in the seed; the measured
+// latencies are not.
+func RunLive(cfg LiveConfig) (LiveResult, error) { return live.Run(cfg) }
+
+// LiveCapacityMRPS estimates the live configuration's saturation throughput:
+// workers over the scaled mean service time.
+func LiveCapacityMRPS(cfg LiveConfig) float64 { return live.CapacityMRPS(cfg) }
 
 // QueueModel describes a theoretical Q×U queueing simulation (§2.2).
 type QueueModel = queueing.Config

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"rpcvalet"
 )
@@ -306,5 +307,40 @@ func TestTransientAPI(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("transient figure not in FigureIDs: %v", rpcvalet.FigureIDs())
+	}
+}
+
+func TestRunLiveFacade(t *testing.T) {
+	pl, err := rpcvalet.ParseDispatchPlan("jbsq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := rpcvalet.LiveConfig{
+		Plan:      pl,
+		Workload:  rpcvalet.HERD(),
+		Workers:   4,
+		Emulation: rpcvalet.LiveSleep,
+		Duration:  80 * time.Millisecond,
+		Seed:      3,
+	}
+	cfg.RateMRPS = 0.4 * rpcvalet.LiveCapacityMRPS(cfg)
+	res, err := rpcvalet.RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 || res.Completed+res.Dropped != res.Offered {
+		t.Fatalf("live bookkeeping: %+v", res)
+	}
+	if res.Shape != "jbsq" || res.Workers != 4 {
+		t.Fatalf("live shape/workers: %s/%d", res.Shape, res.Workers)
+	}
+	found := false
+	for _, id := range rpcvalet.FigureIDs() {
+		if id == "live" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live figure not in FigureIDs: %v", rpcvalet.FigureIDs())
 	}
 }
