@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-json live-smoke
+.PHONY: all build fmt vet lint test race bench bench-json live-smoke obs-smoke
+
+# Pinned so CI and local runs agree on what "clean" means.
+STATICCHECK_VERSION = 2025.1.1
 
 all: build test
 
@@ -14,6 +17,16 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# lint runs staticcheck when it is on PATH and explains how to get it when it
+# isn't (offline builds must not fail for lack of a linter).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; run:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
+	fi
+
 test: fmt vet
 	$(GO) test ./...
 
@@ -21,13 +34,20 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test -bench=. -benchmem -run='^$$' ./...
 
 # live-smoke runs the live goroutine runtime's rate-limited smoke tests:
 # every queue shape end to end in ~100 ms windows, asserting completion
 # counts only, so it stays green on noisy or single-core machines.
 live-smoke:
 	$(GO) test -short -run 'TestLive' -v ./internal/live
+
+# obs-smoke proves the observability endpoints end to end: it starts
+# rpcvalet-live with -obs, scrapes /metrics and /healthz while the run is in
+# flight, and asserts Prometheus text format plus a nonzero completed
+# counter. See scripts/obs_smoke.sh.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # bench-json emits machine-readable benchmark results (BENCH_*.json) for the
 # performance trajectory: the engine's scheduling hot path, the two
@@ -41,3 +61,6 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_figures.json
 	$(GO) test -run='^$$' -bench='^BenchmarkLiveShapes$$' -benchtime=1x ./internal/live \
 		| $(GO) run ./cmd/benchjson > BENCH_live.json
+	{ $(GO) test -run='^$$' -bench='^BenchmarkTraceOverhead$$' -benchmem ./internal/machine; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkLiveTraceOverhead$$' -benchtime=1x ./internal/live; } \
+		| $(GO) run ./cmd/benchjson > BENCH_obs.json

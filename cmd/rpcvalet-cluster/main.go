@@ -11,6 +11,7 @@
 //	                 [-points 8] [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
 //	                 [-modulate pulse@400us+200us:x2] [-degrade 0:x1.5]
 //	                 [-epoch 25us] [-timeline]
+//	                 [-tail 32] [-trace-sample 1024] [-trace-jsonl spans.jsonl]
 //	                 [-warmup 2000] [-measure 20000] [-seed 1] [-workers N]
 //	                 [-format text|csv|json] [-detail]
 //
@@ -29,6 +30,13 @@
 // "square@PERIOD/HIGH:xF"); -degrade injects per-node faults
 // ("0:x1.5;3:pause@500us+100us"); -timeline prints the highest-load
 // point's aggregate and per-node timelines for the first policy.
+//
+// Observability: -tail and -trace-jsonl re-run the highest-load point for
+// the first policy (the same run -timeline inspects) with request tracing
+// on. -tail prints the K slowest requests with their full cross-node span
+// breakdowns — balancer receive, forward, node arrival, dispatch, service —
+// and -trace-jsonl writes sampled request spans (1-in-N by -trace-sample) as
+// JSON lines.
 package main
 
 import (
@@ -66,6 +74,10 @@ func main() {
 		epoch    = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
 		timeline = flag.Bool("timeline", false, "print the highest-load point's timelines (first policy)")
 		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
+
+		tailK       = flag.Int("tail", 0, "retain the K slowest requests of the highest-load point (first policy) with cross-node span breakdowns")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0/1 = every request; used with -trace-jsonl)")
+		traceJSONL  = flag.String("trace-jsonl", "", "write the highest-load point's sampled request spans as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -230,11 +242,48 @@ func main() {
 		emit("completion imbalance (max/mean) by policy", func(p rpcvalet.ClusterPoint) float64 { return p.Imbalance })
 	}
 
-	if *timeline {
+	if *timeline || *tailK > 0 || *traceJSONL != "" {
+		// One extra run of the highest-load point, first policy, with the
+		// requested instrumentation. The balancing policy may be stateful
+		// (round-robin rotation, bounded-load counters), so give the rerun a
+		// fresh instance rather than the swept one.
+		lastCfg.Policy = lastCfg.Policy.Clone()
+		lastCfg.TailSamples = *tailK
+		var collector *rpcvalet.TraceCollector
+		if *traceJSONL != "" {
+			collector = rpcvalet.NewTraceCollector()
+			lastCfg.Trace = collector
+			lastCfg.TraceSample = *traceSample
+		}
 		res, err := rpcvalet.RunCluster(lastCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
 			os.Exit(1)
+		}
+		if collector != nil {
+			f, err := os.Create(*traceJSONL)
+			if err == nil {
+				if err = rpcvalet.WriteSpansJSONL(f, collector.Spans()); err == nil {
+					err = f.Close()
+				} else {
+					f.Close()
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *tailK > 0 {
+			fmt.Printf("# slowest requests: policy %s at %.1f MRPS\n\n", curves[0].Label, lastCfg.RateMRPS)
+			if err := report.SpanTable("slowest requests", res.TailSpans).WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if !*timeline {
+			return
 		}
 		fmt.Printf("# timelines: policy %s at %.1f MRPS\n\n", curves[0].Label, lastCfg.RateMRPS)
 		fmt.Println(report.TimelineSpark(res.Timeline))

@@ -8,6 +8,8 @@
 //	rpcvalet-live [-plan 1x16,jbsq2,16x1] [-workload gev] [-rate 0]
 //	              [-duration 1s] [-workers 8] [-emulation auto|spin|sleep]
 //	              [-scale 0] [-seed 1] [-format text|json] [-timeline]
+//	              [-obs :9090] [-tail 32] [-trace-sample 1024]
+//	              [-trace-jsonl spans.jsonl]
 //
 // -plan takes a comma-separated list of live-supported dispatch plans
 // ("1x16"/"single"/"sw" = shared queue, "16x1"/"partitioned" = per-worker
@@ -18,6 +20,13 @@
 // emulation's recommended lift above its noise floor (see DESIGN.md §6).
 // Latencies are wall-clock measurements: the offered schedule is
 // deterministic in -seed, the measured tails are not.
+//
+// Observability: -obs serves /metrics (Prometheus text format, counters and
+// latency histograms labeled by plan, updated live while the runs are in
+// flight), /healthz, and /debug/pprof on the given address for the life of
+// the process. -tail retains each plan's K slowest requests with full span
+// breakdowns and prints them as a table; -trace-jsonl appends each plan's
+// sampled request spans (1-in-N by -trace-sample) as JSON lines.
 package main
 
 import (
@@ -50,6 +59,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "offered-schedule seed")
 		format   = flag.String("format", "text", "output format: text or json")
 		timeline = flag.Bool("timeline", false, "print each plan's epoch-sliced timeline (text format)")
+
+		obsAddr     = flag.String("obs", "", "serve /metrics, /healthz, /debug/pprof on this address (e.g. :9090) while runs are in flight")
+		tailK       = flag.Int("tail", 0, "retain each plan's K slowest requests with span breakdowns")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0/1 = every request; used with -trace-jsonl)")
+		traceJSONL  = flag.String("trace-jsonl", "", "append sampled request spans as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -85,6 +99,26 @@ func main() {
 	if base.RateMRPS <= 0 {
 		base.RateMRPS = 0.65 * rpcvalet.LiveCapacityMRPS(base)
 	}
+	base.TailSamples = *tailK
+
+	var reg *rpcvalet.ObsRegistry
+	if *obsAddr != "" {
+		reg = rpcvalet.NewObsRegistry()
+		srv, err := rpcvalet.ServeObs(*obsAddr, reg, nil)
+		if err != nil {
+			fail(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "rpcvalet-live: observability on http://%s (/metrics, /healthz, /debug/pprof)\n", srv.Addr())
+	}
+	var jsonl *os.File
+	if *traceJSONL != "" {
+		var err error
+		if jsonl, err = os.Create(*traceJSONL); err != nil {
+			fail(err)
+		}
+		defer jsonl.Close()
+	}
 
 	var results []rpcvalet.LiveResult
 	for _, spec := range strings.Split(*plans, ",") {
@@ -94,9 +128,23 @@ func main() {
 		}
 		cfg := base
 		cfg.Plan = pl
+		if reg != nil {
+			cfg.Obs = rpcvalet.NewObsRunMetrics(reg, rpcvalet.ObsLabels{"plan": pl.Name})
+		}
+		var collector *rpcvalet.TraceCollector
+		if jsonl != nil {
+			collector = rpcvalet.NewTraceCollector()
+			cfg.Trace = collector
+			cfg.TraceSample = *traceSample
+		}
 		res, err := rpcvalet.RunLive(cfg)
 		if err != nil {
 			fail(err)
+		}
+		if collector != nil {
+			if err := rpcvalet.WriteSpansJSONL(jsonl, collector.Spans()); err != nil {
+				fail(err)
+			}
 		}
 		results = append(results, res)
 	}
@@ -126,6 +174,15 @@ func main() {
 	}
 	if err := tbl.WriteText(os.Stdout); err != nil {
 		fail(err)
+	}
+
+	if *tailK > 0 {
+		for _, r := range results {
+			fmt.Println()
+			if err := report.SpanTable(r.Plan+" slowest requests", r.TailSpans).WriteText(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
 	}
 
 	if *timeline {

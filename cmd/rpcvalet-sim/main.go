@@ -8,6 +8,7 @@
 //	             [-arrival poisson] [-threshold 2] [-seed 1]
 //	             [-dispatch jbsq2] [-modulate pulse@400us+200us:x2]
 //	             [-degrade x1.5] [-epoch 25us] [-timeline]
+//	             [-tail 32] [-trace-sample 1024] [-trace-jsonl spans.jsonl]
 //	             [-format text|json]
 //
 // Modes: 1x16 (RPCValet), 4x4, 16x1 (RSS baseline), sw (MCS software queue).
@@ -24,6 +25,13 @@
 // -degrade injects machine faults ("x1.5" slowdown, "pause@200us+100us"
 // stall windows, comma-combinable); -timeline prints the epoch-sliced
 // timeline (sparkline + table) alongside the summary.
+//
+// Observability: -tail retains the K slowest requests with full span
+// breakdowns (queue wait / dispatch / service, core attribution, queue depth
+// at arrival) and prints them as a table (JSON output embeds them as
+// TailSpans); -trace-jsonl writes sampled request spans (1-in-N by
+// -trace-sample) as JSON lines. Tracing is passive: results are
+// byte-identical with it on or off.
 package main
 
 import (
@@ -54,6 +62,10 @@ func main() {
 		degrade   = flag.String("degrade", "", "machine fault: x<factor> slowdown and/or pause@START+DUR, comma-separated")
 		epoch     = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
 		timeline  = flag.Bool("timeline", false, "print the epoch-sliced timeline (text format only; json output always embeds it as Timeline)")
+
+		tailK       = flag.Int("tail", 0, "retain the K slowest requests with span breakdowns")
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0/1 = every request; used with -trace-jsonl)")
+		traceJSONL  = flag.String("trace-jsonl", "", "write sampled request spans as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -136,11 +148,34 @@ func main() {
 		}
 		cfg.Epoch = d
 	}
+	cfg.TailSamples = *tailK
+	var collector *rpcvalet.TraceCollector
+	if *traceJSONL != "" {
+		collector = rpcvalet.NewTraceCollector()
+		cfg.Trace = collector
+		cfg.TraceSample = *traceSample
+	}
 
 	res, err := rpcvalet.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
 		os.Exit(1)
+	}
+	if collector != nil {
+		f, err := os.Create(*traceJSONL)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rpcvalet.WriteSpansJSONL(f, collector.Spans()); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rpcvalet-sim: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *format == "json" {
@@ -200,6 +235,14 @@ func main() {
 	if err := util.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *tailK > 0 {
+		fmt.Println()
+		if err := report.SpanTable("slowest requests", res.TailSpans).WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *timeline {

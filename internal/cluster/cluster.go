@@ -27,6 +27,7 @@ import (
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/stats"
+	"rpcvalet/internal/trace"
 )
 
 // Config describes one cluster simulation.
@@ -73,6 +74,20 @@ type Config struct {
 	// bounds the timelines' slice count (0 = metrics default, 64).
 	Epoch     sim.Duration
 	MaxEpochs int
+	// Trace, when non-nil, receives the cluster-wide lifecycle stream:
+	// the balancer's hop milestones (balancer-recv, forward) plus every
+	// node's machine events, with request IDs remapped to cluster-wide
+	// sequence numbers and the serving node stamped on each event — one
+	// causally ordered stream per request across the whole rack.
+	Trace trace.Recorder
+	// TraceSample records only every Nth request (by cluster sequence
+	// number) to Trace; 0 and 1 both mean every request. Sampling gates
+	// Trace only, never the tail sampler.
+	TraceSample int
+	// TailSamples, when positive, retains the K slowest requests
+	// (end-to-end, hop included) on Result.TailSpans with full span
+	// breakdowns. Passive: healthy result streams stay byte-identical.
+	TailSamples int
 }
 
 // NodeFault assigns one node a machine-level fault: a service-time slowdown
@@ -188,6 +203,12 @@ type Result struct {
 	// with NodeCompleted.
 	Timeline      metrics.Timeline
 	NodeTimelines []metrics.Timeline
+
+	// TailSpans holds the Config.TailSamples slowest requests of the run,
+	// slowest first, spans spliced across the balancer hop and the serving
+	// node (balancer-recv → forward → arrive → dispatch → start →
+	// complete). Nil unless TailSamples was set.
+	TailSpans []trace.Span
 }
 
 func (r Result) String() string {
@@ -243,6 +264,25 @@ func (v *view) snapshot() {
 	}
 }
 
+// nodeTracer adapts one node's machine-internal trace stream to the
+// cluster-wide view: machines number injected requests 0,1,2,... in inject
+// order, so the cluster appends each request's cluster-wide sequence number
+// to ids at inject time and the machine's request ID indexes it directly.
+// Every event is re-labeled with the cluster ID and the node index before
+// reaching the shared sink.
+type nodeTracer struct {
+	node int
+	ids  []uint64
+	emit func(trace.Event)
+}
+
+// Record implements trace.Recorder.
+func (t *nodeTracer) Record(e trace.Event) {
+	e.ReqID = t.ids[e.ReqID]
+	e.Node = t.node
+	t.emit(e)
+}
+
 // Run simulates the configured cluster and returns its measurements.
 // Identical configurations produce identical results: the nodes, the
 // arrival stream, and the policy all draw from streams split off cfg.Seed,
@@ -256,11 +296,35 @@ func Run(cfg Config) (Result, error) {
 	arrRNG := root.Split()
 	polRNG := root.Split()
 
+	// Tracing sinks: tail sees every request (exact K-slowest); the user
+	// Recorder sees one request in sampleN. With both off, record stays nil
+	// and no trace code touches the run — byte-identical streams.
+	var tail *trace.TailSampler
+	if cfg.TailSamples > 0 {
+		tail = trace.NewTailSampler(cfg.TailSamples)
+	}
+	sampleN := uint64(1)
+	if cfg.TraceSample > 1 {
+		sampleN = uint64(cfg.TraceSample)
+	}
+	var record func(trace.Event)
+	if cfg.Trace != nil || tail != nil {
+		record = func(e trace.Event) {
+			if tail != nil {
+				tail.Record(e)
+			}
+			if cfg.Trace != nil && e.ReqID%sampleN == 0 {
+				cfg.Trace.Record(e)
+			}
+		}
+	}
+
 	faultByNode := make([]machine.Fault, cfg.Nodes)
 	for _, f := range cfg.Faults {
 		faultByNode[f.Node] = machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses}
 	}
 	nodes := make([]*machine.Machine, cfg.Nodes)
+	tracers := make([]*nodeTracer, cfg.Nodes)
 	for i := range nodes {
 		ncfg := cfg.Node
 		ncfg.Seed = root.Split().Uint64()
@@ -271,6 +335,12 @@ func Run(cfg Config) (Result, error) {
 		}
 		ncfg.Slowdown = faultByNode[i].Slowdown
 		ncfg.Pauses = faultByNode[i].Pauses
+		if record != nil {
+			tracers[i] = &nodeTracer{node: i, emit: record}
+			ncfg.Trace = tracers[i]
+			ncfg.TraceSample = 0 // sampling happens on cluster IDs, above
+			ncfg.TailSamples = 0 // the cluster-level tail splices the hop in
+		}
 		m, err := machine.NewShared(ncfg, eng)
 		if err != nil {
 			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
@@ -305,8 +375,11 @@ func Run(cfg Config) (Result, error) {
 
 	var runErr error
 	arr := arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
+	var seq uint64 // cluster-wide request sequence number
 	var arrive func()
 	arrive = func() {
+		id := seq
+		seq++
 		n := cfg.Policy.Pick(v, polRNG)
 		if n < 0 || n >= cfg.Nodes {
 			// A custom policy misbehaved; fail attributably rather than
@@ -315,10 +388,22 @@ func Run(cfg Config) (Result, error) {
 			eng.Stop()
 			return
 		}
+		if record != nil {
+			// Depths are the balancer's pre-decision view: cluster-wide
+			// outstanding at ingress, the chosen node's depth at forward.
+			now := eng.Now()
+			record(trace.Event{ReqID: id, Phase: trace.PhaseBalancerRecv, At: now, Core: -1, Node: -1, Depth: totalOut})
+			record(trace.Event{ReqID: id, Phase: trace.PhaseForward, At: now, Core: -1, Node: n, Depth: v.Depth(n)})
+		}
 		v.dispatched(n)
 		totalOut++
 		sent := eng.Now()
 		eng.Schedule(cfg.Hop, func() {
+			if record != nil {
+				// The machine numbers this inject len(ids); remember its
+				// cluster-wide identity at that index.
+				tracers[n].ids = append(tracers[n].ids, id)
+			}
 			nodes[n].Inject(func(_ int, measured bool) {
 				v.completed(n)
 				totalOut--
@@ -359,6 +444,9 @@ func Run(cfg Config) (Result, error) {
 		Completed:     completed,
 		TimedOut:      timedOut,
 		Timeline:      rec.Timeline(),
+	}
+	if tail != nil {
+		res.TailSpans = tail.Spans()
 	}
 	if start, end := rec.Window(); end > start {
 		res.ThroughputMRPS = float64(cfg.Measure-1) / end.Sub(start).Nanos() * 1000

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+
+	"rpcvalet/internal/trace"
+)
+
+// TestCrossNodeTraceCausality runs a traced cluster under every balancer
+// policy and asserts, request by request, that the lifecycle is causally
+// ordered across the balancer/node boundary: balancer-recv → forward →
+// arrive → dispatch → start → complete, with monotonically non-decreasing
+// timestamps, a consistent serving node from forward onward, and a positive
+// hop (forward → arrive spans the configured network latency).
+func TestCrossNodeTraceCausality(t *testing.T) {
+	for _, name := range PolicyNames {
+		t.Run(name, func(t *testing.T) {
+			pol, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := baseConfig(4, pol, 0.6)
+			cfg.Warmup = 50
+			cfg.Measure = 500
+			var events []trace.Event
+			cfg.Trace = trace.Func(func(e trace.Event) { events = append(events, e) })
+			res := run(t, cfg)
+
+			byReq := make(map[uint64][]trace.Event)
+			for _, e := range events {
+				byReq[e.ReqID] = append(byReq[e.ReqID], e)
+			}
+			if len(byReq) < res.Completed {
+				t.Fatalf("traced %d requests, completed %d", len(byReq), res.Completed)
+			}
+			completed := 0
+			for id, evs := range byReq {
+				last := evs[len(evs)-1]
+				if last.Phase != trace.PhaseComplete {
+					continue // still in flight when the run stopped
+				}
+				completed++
+				node := -2 // unassigned
+				for i, e := range evs {
+					if i == 0 {
+						if e.Phase != trace.PhaseBalancerRecv {
+							t.Fatalf("req %d: first phase %v, want balancer-recv", id, e.Phase)
+						}
+						continue
+					}
+					prev := evs[i-1]
+					if e.Phase.Rank() <= prev.Phase.Rank() {
+						t.Fatalf("req %d: %v after %v", id, e.Phase, prev.Phase)
+					}
+					if e.At < prev.At {
+						t.Fatalf("req %d: time ran backwards at %v", id, e.Phase)
+					}
+					if e.Phase == trace.PhaseForward {
+						node = e.Node
+					} else if node != -2 && e.Node != node {
+						t.Fatalf("req %d: forwarded to node %d, %v on node %d", id, node, e.Phase, e.Node)
+					}
+					if e.Phase == trace.PhaseArrive && e.At.Sub(prev.At) < cfg.Hop {
+						t.Fatalf("req %d: hop %v shorter than configured %v", id, e.At.Sub(prev.At), cfg.Hop)
+					}
+				}
+				if len(evs) != 6 {
+					t.Fatalf("req %d: %d events, want the full 6-phase lifecycle", id, len(evs))
+				}
+			}
+			if completed < res.Completed {
+				t.Fatalf("%d fully traced completions for %d completed requests", completed, res.Completed)
+			}
+		})
+	}
+}
+
+// TestClusterTailSpans checks tail capture end to end: exactly K spans,
+// slowest first, all completed, hops spliced in.
+func TestClusterTailSpans(t *testing.T) {
+	cfg := baseConfig(4, JSQ{D: 2}, 0.7)
+	cfg.Warmup = 50
+	cfg.Measure = 1000
+	cfg.TailSamples = 8
+	res := run(t, cfg)
+	if len(res.TailSpans) != 8 {
+		t.Fatalf("tail spans = %d, want 8", len(res.TailSpans))
+	}
+	for i, s := range res.TailSpans {
+		if !s.Completed() {
+			t.Fatalf("tail span %d incomplete: %v", i, s)
+		}
+		if s.BalancerRecv == trace.Unset || s.Forward == trace.Unset {
+			t.Fatalf("tail span %d missing balancer hops: %+v", i, s)
+		}
+		if s.Node < 0 || s.Node >= cfg.Nodes {
+			t.Fatalf("tail span %d node %d", i, s.Node)
+		}
+		if s.HopNs() < cfg.Hop.Nanos() {
+			t.Fatalf("tail span %d hop %.0fns < configured %.0fns", i, s.HopNs(), cfg.Hop.Nanos())
+		}
+		if i > 0 && s.TotalNs() > res.TailSpans[i-1].TotalNs() {
+			t.Fatal("tail spans not slowest-first")
+		}
+	}
+	// The slowest span must be at least as slow as the measured p99: the
+	// tail sampler saw every request, the summary only the window.
+	if res.TailSpans[0].TotalNs() < res.Latency.P99 {
+		t.Fatalf("slowest span %.0fns below p99 %.0fns", res.TailSpans[0].TotalNs(), res.Latency.P99)
+	}
+}
+
+// TestClusterTraceSampling: sampling thins the user stream without touching
+// results or the tail.
+func TestClusterTraceSampling(t *testing.T) {
+	cfg := baseConfig(2, Random{}, 0.5)
+	cfg.Warmup = 20
+	cfg.Measure = 400
+	cfg.TailSamples = 4
+
+	full := run(t, cfg)
+
+	var sampled int
+	cfg.TraceSample = 8
+	cfg.Trace = trace.Func(func(e trace.Event) {
+		if e.ReqID%8 != 0 {
+			t.Fatalf("sampled stream leaked req %d", e.ReqID)
+		}
+		sampled++
+	})
+	got := run(t, cfg)
+	if sampled == 0 {
+		t.Fatal("sampling recorded nothing")
+	}
+	if got.Latency != full.Latency {
+		t.Fatal("tracing perturbed the measured latency stream")
+	}
+	if len(got.TailSpans) != len(full.TailSpans) {
+		t.Fatal("sampling changed the tail set size")
+	}
+	for i := range got.TailSpans {
+		if got.TailSpans[i] != full.TailSpans[i] {
+			t.Fatalf("sampling changed tail span %d", i)
+		}
+	}
+}
+
+// TestClusterTracingOffIsByteIdentical: enabling then disabling tracing must
+// leave the result stream untouched.
+func TestClusterTracingOffIsByteIdentical(t *testing.T) {
+	cfg := baseConfig(2, &RoundRobin{}, 0.6)
+	cfg.Warmup = 20
+	cfg.Measure = 400
+	plain := run(t, cfg)
+
+	cfg.Policy = cfg.Policy.Clone() // RoundRobin carries rotation state
+	cfg.TailSamples = 16
+	cfg.Trace = trace.Func(func(trace.Event) {})
+	traced := run(t, cfg)
+	if plain.Latency != traced.Latency || plain.ThroughputMRPS != traced.ThroughputMRPS {
+		t.Fatal("tracing changed the simulation")
+	}
+}

@@ -626,6 +626,50 @@ func TestFigureTransientClaims(t *testing.T) {
 	}
 }
 
+// TestFigureAnatomyStructure checks the tail-anatomy figure's shape: one
+// summary row per dispatch plan, a span table per plan with the slowest
+// requests decomposed, and three claims.
+func TestFigureAnatomyStructure(t *testing.T) {
+	fig, err := Figures["anatomy"](tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Tables) != 1+len(anatomyPlans) {
+		t.Fatalf("anatomy tables = %d, want %d", len(fig.Tables), 1+len(anatomyPlans))
+	}
+	if got := len(fig.Tables[0].Rows); got != len(anatomyPlans) {
+		t.Fatalf("summary rows = %d, want %d", got, len(anatomyPlans))
+	}
+	for _, tbl := range fig.Tables[1:] {
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("empty span table %q", tbl.Title)
+		}
+	}
+	if len(fig.Claims) != 3 {
+		t.Fatalf("anatomy claims = %d, want 3", len(fig.Claims))
+	}
+}
+
+// TestFigureAnatomyClaims regenerates the tail-anatomy figure at
+// QuickOptions scale — the acceptance scale — and requires every claim to
+// hold: the partitioned tail is queue-wait dominated, and both the ideal
+// single queue and JBSQ(2) cut the tail's wait share below half of the
+// partitioned baseline's.
+func TestFigureAnatomyClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("QuickOptions-scale regeneration")
+	}
+	fig, err := Figures["anatomy"](QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fig.Claims {
+		if !c.Ok {
+			t.Errorf("claim failed: %s", c)
+		}
+	}
+}
+
 // TestRecoveryHelpers pins the transient figure's analysis helpers.
 func TestRecoveryHelpers(t *testing.T) {
 	if got := median([]float64{5, 1, 3}); got != 3 {

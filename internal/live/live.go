@@ -44,9 +44,11 @@ import (
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/ni"
+	"rpcvalet/internal/obs"
 	"rpcvalet/internal/rng"
 	"rpcvalet/internal/sim"
 	"rpcvalet/internal/stats"
+	"rpcvalet/internal/trace"
 	"rpcvalet/internal/workload"
 )
 
@@ -210,6 +212,29 @@ type Config struct {
 	// slice bound (0 = metrics defaults, doubling as the run outgrows it).
 	Epoch     sim.Duration
 	MaxEpochs int
+
+	// Trace, when non-nil, receives wall-clock lifecycle events
+	// (arrive/start/complete; the live runtime has no dispatch timestamp)
+	// for every TraceSample'th request. The events are assembled after the
+	// run from the per-worker completion buffers the runtime already
+	// keeps, so the serving path records nothing extra — tracing costs the
+	// hot path nothing beyond one integer field per completion record.
+	// Timestamps are nanoseconds since run start on the sim.Time axis.
+	Trace trace.Recorder
+	// TraceSample forwards only every Nth request (by sequence number) to
+	// Trace; 0 and 1 both mean every request.
+	TraceSample int
+	// TailSamples, when positive, retains the K slowest completed
+	// requests on Result.TailSpans — selected from the full completion
+	// set, never sampled.
+	TailSamples int
+
+	// Obs, when non-nil, streams run progress into the observability
+	// instrument set (internal/obs) *while the run is in flight*: the
+	// generator counts offered/dropped arrivals, workers count
+	// completions and observe latency histograms. Updates are atomic;
+	// leave nil to keep the serving path free of them.
+	Obs *obs.RunMetrics
 }
 
 func (c Config) workers() int {
@@ -302,6 +327,12 @@ type Result struct {
 	ElapsedNanos  float64 // wall time until the backlog drained
 
 	Timeline metrics.Timeline
+
+	// TailSpans holds the Config.TailSamples slowest requests of the run,
+	// slowest first, on the wall clock: scheduled arrival, service start,
+	// and completion (the live runtime has no dispatch timestamp), with
+	// the serving worker as Core. Nil unless TailSamples was set.
+	TailSpans []trace.Span
 }
 
 func (r Result) String() string {
@@ -320,13 +351,16 @@ type task struct {
 }
 
 // rec is one completion, recorded contention-free in a per-worker buffer and
-// merged into the metrics.Recorder after the run.
+// merged into the metrics.Recorder after the run. seq identifies the request
+// so post-run span assembly (tail capture, sampled tracing) can attribute
+// it.
 type rec struct {
 	atNs   float64 // completion time since run start
 	latNs  float64
 	waitNs float64
 	svcNs  float64
 	class  int
+	seq    uint64
 }
 
 func (c Config) validate() (Shape, int, error) {
@@ -398,13 +432,18 @@ func Run(cfg Config) (Result, error) {
 			time.Sleep(time.Duration(t.svcNanos))
 		}
 		end := time.Now()
-		return rec{
+		r := rec{
 			atNs:   float64(end.Sub(start).Nanoseconds()),
 			latNs:  float64(end.Sub(t.arrived).Nanoseconds()),
 			waitNs: float64(svcStart.Sub(t.arrived).Nanoseconds()),
 			svcNs:  float64(end.Sub(svcStart).Nanoseconds()),
 			class:  t.class,
+			seq:    t.seq,
 		}
+		if cfg.Obs != nil {
+			cfg.Obs.OnCompleted(r.latNs, r.waitNs)
+		}
+		return r
 	}
 
 	// Wire the shape: enqueue() routes one task (reporting acceptance),
@@ -586,8 +625,14 @@ func Run(cfg Config) (Result, error) {
 		seq++
 		waitUntil(next)
 		offered++ // accepted + dropped: every release the open loop made
+		if cfg.Obs != nil {
+			cfg.Obs.OnOffered()
+		}
 		if !enqueue(t) {
 			dropped++
+			if cfg.Obs != nil {
+				cfg.Obs.OnDropped()
+			}
 		}
 	}
 	finish()
@@ -662,6 +707,58 @@ func assemble(cfg Config, shape Shape, bound int, em Emulation, scale, spinsNs f
 	}
 	recorder.CloseWindow(at(winEnd))
 
+	// liveSpan reconstructs a request's wall-clock span from its completion
+	// record: arrive = complete − latency, start = arrive + wait. Dispatch
+	// has no live timestamp and stays Unset.
+	liveSpan := func(r wrec) trace.Span {
+		arriveNs := r.atNs - r.latNs
+		return trace.Span{
+			ReqID: r.seq, Node: 0, Core: r.worker,
+			DepthAtArrival: -1, DepthAtForward: -1,
+			BalancerRecv: trace.Unset, Forward: trace.Unset, Dispatch: trace.Unset,
+			Arrive:   at(arriveNs),
+			Start:    at(arriveNs + r.waitNs),
+			Complete: at(r.atNs),
+		}
+	}
+
+	var tailSpans []trace.Span
+	if cfg.TailSamples > 0 && len(all) > 0 {
+		// Select on the measured latency (exact), then materialize spans.
+		byLat := append([]wrec(nil), all...)
+		sort.Slice(byLat, func(i, j int) bool {
+			if byLat[i].latNs != byLat[j].latNs {
+				return byLat[i].latNs > byLat[j].latNs
+			}
+			return byLat[i].seq < byLat[j].seq
+		})
+		k := cfg.TailSamples
+		if k > len(byLat) {
+			k = len(byLat)
+		}
+		for _, r := range byLat[:k] {
+			tailSpans = append(tailSpans, liveSpan(r))
+		}
+	}
+
+	if cfg.Trace != nil {
+		// Replay the sampled requests' lifecycles in completion order. This
+		// is the post-run export pass; the serving path never sees it.
+		sampleN := uint64(1)
+		if cfg.TraceSample > 1 {
+			sampleN = uint64(cfg.TraceSample)
+		}
+		for _, r := range all {
+			if r.seq%sampleN != 0 {
+				continue
+			}
+			s := liveSpan(r)
+			cfg.Trace.Record(trace.Event{ReqID: r.seq, Phase: trace.PhaseArrive, At: s.Arrive, Core: -1, Depth: -1})
+			cfg.Trace.Record(trace.Event{ReqID: r.seq, Phase: trace.PhaseStart, At: s.Start, Core: r.worker, Depth: -1})
+			cfg.Trace.Record(trace.Event{ReqID: r.seq, Phase: trace.PhaseComplete, At: s.Complete, Core: r.worker, Depth: -1})
+		}
+	}
+
 	planName := shape.String()
 	if shape == ShapeJBSQ {
 		planName = fmt.Sprintf("jbsq%d", bound)
@@ -691,6 +788,7 @@ func assemble(cfg Config, shape Shape, bound int, em Emulation, scale, spinsNs f
 		DurationNanos:    float64(cfg.Duration.Nanoseconds()),
 		ElapsedNanos:     float64(elapsed.Nanoseconds()),
 		Timeline:         recorder.Timeline(),
+		TailSpans:        tailSpans,
 	}
 	for i, name := range classes {
 		res.ClassLatency[name] = recorder.Class(i)

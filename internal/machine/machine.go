@@ -85,6 +85,12 @@ type Machine struct {
 	arr    arrival.Process
 	nextID uint64
 
+	// Tracing: tail retains the K slowest spans (always unsampled);
+	// sampleN gates cfg.Trace to one request in N. Both nil/1 by default —
+	// the hot path stays allocation-free and byte-identical when off.
+	tail    *trace.TailSampler
+	sampleN uint64
+
 	// external marks a machine embedded in a larger simulation
 	// (internal/cluster): arrivals are injected by the owner, and the
 	// machine neither measures nor stops the shared engine itself.
@@ -125,6 +131,15 @@ type Config struct {
 	// (arrive/dispatch/start/complete). It runs inline on the simulation
 	// path; use a bounded trace.Buffer for long runs.
 	Trace trace.Recorder
+	// TraceSample records only every Nth request (by request ID) to Trace;
+	// 0 and 1 both mean every request. Sampling gates Trace only — the
+	// tail sampler below always sees the full stream, so the retained
+	// K-slowest set stays exact at any sampling rate.
+	TraceSample int
+	// TailSamples, when positive, retains the K slowest requests of the
+	// run with full span breakdowns on Result.TailSpans. Passive: it never
+	// perturbs the simulation's RNG streams or event order.
+	TailSamples int
 	// Slowdown multiplies every sampled handler service time — a degraded
 	// (thermally throttled, misconfigured) server. 0 and 1 both mean full
 	// speed, byte-for-byte reproducing historical result streams.
@@ -216,6 +231,13 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 		inflight: make(map[uint64]*request),
 		target:   cfg.Warmup + cfg.Measure,
 		slow:     1,
+		sampleN:  1,
+	}
+	if cfg.TraceSample > 1 {
+		m.sampleN = uint64(cfg.TraceSample)
+	}
+	if cfg.TailSamples > 0 {
+		m.tail = trace.NewTailSampler(cfg.TailSamples)
 	}
 	if cfg.Slowdown > 0 {
 		m.slow = cfg.Slowdown
@@ -335,10 +357,21 @@ func (m *Machine) wireDispatchers() error {
 	return nil
 }
 
-// record emits a lifecycle event to the configured tracer, if any.
-func (m *Machine) record(id uint64, phase trace.Phase, core int) {
-	if m.cfg.Trace != nil {
-		m.cfg.Trace.Record(trace.Event{ReqID: id, Phase: phase, At: m.eng.Now(), Core: core})
+// record emits a lifecycle event to the tracing sinks. The tail sampler sees
+// every request; the user Recorder sees one in sampleN. depth carries the
+// queue-depth signal for arrive events (-1 elsewhere). With tracing off both
+// branches fall through without constructing the event — zero allocations,
+// zero side effects.
+func (m *Machine) record(id uint64, phase trace.Phase, core, depth int) {
+	if m.cfg.Trace == nil && m.tail == nil {
+		return
+	}
+	e := trace.Event{ReqID: id, Phase: phase, At: m.eng.Now(), Core: core, Depth: depth}
+	if m.tail != nil {
+		m.tail.Record(e)
+	}
+	if m.cfg.Trace != nil && id%m.sampleN == 0 {
+		m.cfg.Trace.Record(e)
 	}
 }
 
@@ -462,7 +495,7 @@ func (m *Machine) admit(req *request) {
 				panic(fmt.Sprintf("machine: rendezvous descriptor: done=%v err=%v", done, err))
 			}
 			req.arrive = m.eng.Now()
-			m.record(req.id, trace.PhaseArrive, -1)
+			m.record(req.id, trace.PhaseArrive, -1, len(m.inflight)-1)
 			m.eng.Schedule(m.p.NetRTT, func() {
 				pkts := m.p.Domain.RendezvousReadPackets(m.wl.RequestBytes)
 				m.backends[b].Submit(sim.Duration(pkts)*m.p.PacketProc, func() {
@@ -492,7 +525,7 @@ func (m *Machine) ingest(req *request, b int, size int) {
 		}
 		m.eng.Schedule(m.p.MemWrite, func() {
 			req.arrive = m.eng.Now()
-			m.record(req.id, trace.PhaseArrive, -1)
+			m.record(req.id, trace.PhaseArrive, -1, len(m.inflight)-1)
 			m.routeCompletion(req, b)
 		})
 	})
@@ -540,7 +573,7 @@ func (m *Machine) deliver(di int, d ni.Dispatch) {
 		panic(fmt.Sprintf("machine: dispatch of unknown request %d", d.Msg.Tag))
 	}
 	c := m.cores[d.Core]
-	m.record(req.id, trace.PhaseDispatch, d.Core)
+	m.record(req.id, trace.PhaseDispatch, d.Core, -1)
 	wire := m.p.Mesh.Latency(m.dispTile[di], c.tile, ctrlBytes) + m.p.CQEDeliver
 	m.eng.Schedule(wire, func() {
 		c.cq.Push(req)
@@ -566,7 +599,7 @@ func (m *Machine) begin(c *core, pollDelay sim.Duration) {
 	now := m.eng.Now()
 	stall := pauseStall(m.cfg.Pauses, now)
 	svcStart := now.Add(pollDelay + stall)
-	m.record(req.id, trace.PhaseStart, c.id)
+	m.record(req.id, trace.PhaseStart, c.id, -1)
 	occupied := pollDelay + stall + m.p.BufRead + sim.FromNanos(req.svcNanos) +
 		m.p.LoopOverhead + m.p.SendPost + m.p.ReplenishPost
 	m.rec.Busy(now, c.id, occupied)
@@ -590,7 +623,7 @@ func (m *Machine) finish(c *core, req *request, svcStart sim.Time) {
 // propagation, and moving the core onto its next unit of work.
 func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot int) {
 	now := m.eng.Now()
-	m.record(req.id, trace.PhaseComplete, c.id)
+	m.record(req.id, trace.PhaseComplete, c.id, -1)
 
 	m.completed++
 	if req.onDone != nil {
@@ -708,7 +741,7 @@ func (m *Machine) swTryPair() {
 		} else {
 			cost += m.p.LockUncontended
 		}
-		m.record(req.id, trace.PhaseDispatch, coreID)
+		m.record(req.id, trace.PhaseDispatch, coreID, -1)
 		m.lock.Submit(cost, func() {
 			c.cq.Push(req)
 			c.busy = false

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewMux assembles the observability endpoints on a fresh ServeMux:
+//
+//   - /metrics — the registry, Prometheus text exposition format
+//   - /healthz — 200 "ok" while healthz returns nil, 503 with the error
+//     otherwise (nil healthz means always healthy)
+//   - /debug/pprof/... — the standard Go profiler handlers, wired
+//     explicitly so the mux works without the default-mux side effects
+func NewMux(reg *Registry, healthz func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":9090", "127.0.0.1:0", ...) and serves the
+// observability mux in a background goroutine. The bind happens
+// synchronously so address errors surface here, not in a log line from the
+// goroutine.
+func Serve(addr string, reg *Registry, healthz func() error) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	srv := &http.Server{Handler: NewMux(reg, healthz), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound address — useful with ":0" in tests.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

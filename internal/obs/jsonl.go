@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/trace"
+)
+
+// spanJSON is the export schema: one request per line, every leg in
+// nanoseconds, -1 marking legs the span never observed. Field names are
+// stable — offline tooling keys on them.
+type spanJSON struct {
+	Req            uint64  `json:"req"`
+	Node           int     `json:"node"`
+	Core           int     `json:"core"`
+	DepthAtArrival int     `json:"depth_at_arrival"`
+	DepthAtForward int     `json:"depth_at_forward"`
+	BalancerRecvNs float64 `json:"balancer_recv_ns"`
+	ForwardNs      float64 `json:"forward_ns"`
+	ArriveNs       float64 `json:"arrive_ns"`
+	DispatchNs     float64 `json:"dispatch_ns"`
+	StartNs        float64 `json:"start_ns"`
+	CompleteNs     float64 `json:"complete_ns"`
+	HopNs          float64 `json:"hop_ns"`
+	WaitNs         float64 `json:"wait_ns"`
+	ServiceNs      float64 `json:"service_ns"`
+	TotalNs        float64 `json:"total_ns"`
+}
+
+// tsNs renders one span timestamp: nanoseconds since virtual time zero, or
+// -1 when the phase was never observed.
+func tsNs(t sim.Time) float64 {
+	if t == trace.Unset {
+		return -1
+	}
+	return t.Nanos()
+}
+
+// WriteSpansJSONL writes one JSON object per span — the trace-export format
+// behind the CLIs' -trace-jsonl flags.
+func WriteSpansJSONL(w io.Writer, spans []trace.Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		j := spanJSON{
+			Req:            s.ReqID,
+			Node:           s.Node,
+			Core:           s.Core,
+			DepthAtArrival: s.DepthAtArrival,
+			DepthAtForward: s.DepthAtForward,
+			BalancerRecvNs: tsNs(s.BalancerRecv),
+			ForwardNs:      tsNs(s.Forward),
+			ArriveNs:       tsNs(s.Arrive),
+			DispatchNs:     tsNs(s.Dispatch),
+			StartNs:        tsNs(s.Start),
+			CompleteNs:     tsNs(s.Complete),
+			HopNs:          s.HopNs(),
+			WaitNs:         s.QueueWaitNs(),
+			ServiceNs:      s.ServiceNs(),
+			TotalNs:        s.TotalNs(),
+		}
+		if err := enc.Encode(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/trace"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := r.Expose(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "A test counter.", nil)
+	c.Inc()
+	c.Add(4)
+	g := r.Gauge("test_gauge", "A test gauge.", Labels{"plan": "jbsq2"})
+	g.Set(2.5)
+	g.Add(-0.5)
+
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP test_total A test counter.",
+		"# TYPE test_total counter",
+		"test_total 5",
+		"# TYPE test_gauge gauge",
+		`test_gauge{plan="jbsq2"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSameNameSameInstrument(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", Labels{"k": "v"})
+	b := r.Counter("c_total", "", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("c_total", "", Labels{"k": "w"})
+	if a == other {
+		t.Fatal("different labels shared an instrument")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.001, 0.01, 0.1}, nil)
+	for _, v := range []float64{0.0005, 0.002, 0.02, 0.02, 5} {
+		h.Observe(v)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.001"} 1`,
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 0.0005+0.002+0.02+0.02+5; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestHistogramBoundaryInclusive: observations exactly on a bound land in
+// that bucket (le semantics).
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "", []float64{1, 2}, nil)
+	h.Observe(1)
+	out := expose(t, r)
+	if !strings.Contains(out, `b_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("boundary observation not in its le bucket:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Labels{"path": `a"b\c`})
+	out := expose(t, r)
+	if !strings.Contains(out, `esc_total{path="a\"b\\c"} 0`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestConcurrentInstrumentUpdates(t *testing.T) {
+	r := NewRegistry()
+	m := NewRunMetrics(r, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.OnOffered()
+				m.OnCompleted(1e4, 1e3)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Offered.Value() != 8000 || m.Completed.Value() != 8000 {
+		t.Fatalf("offered=%d completed=%d", m.Offered.Value(), m.Completed.Value())
+	}
+	if m.Inflight.Value() != 0 {
+		t.Fatalf("inflight = %v, want 0", m.Inflight.Value())
+	}
+	if m.Latency.Count() != 8000 {
+		t.Fatalf("latency count = %d", m.Latency.Count())
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bucket spec did not panic")
+		}
+	}()
+	ExponentialBuckets(0, 2, 3)
+}
+
+// validateExposition walks the full output and asserts every non-comment
+// line parses as `name{labels} value` with a numeric value — the shape a
+// Prometheus scraper requires.
+func validateExposition(t *testing.T, out string) {
+	t.Helper()
+	sc := bufio.NewScanner(strings.NewReader(out))
+	lines := 0
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lines++
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(fields[1], "%g", &v); err != nil && fields[1] != "+Inf" {
+			t.Fatalf("non-numeric sample %q", line)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("no sample lines")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	m := NewRunMetrics(r, Labels{"plan": "shared"})
+	m.OnOffered()
+	m.OnCompleted(5e4, 1e4)
+
+	healthy := true
+	srv, err := Serve("127.0.0.1:0", r, func() error {
+		if !healthy {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `rpcvalet_requests_completed_total{plan="shared"} 1`) {
+		t.Fatalf("/metrics missing completed counter:\n%s", body)
+	}
+	validateExposition(t, body)
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("unhealthy /healthz status %d", code)
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	spans := []trace.Span{
+		{
+			ReqID: 3, Node: 1, Core: 2, DepthAtArrival: 4, DepthAtForward: 1,
+			BalancerRecv: sim.Time(0), Forward: sim.Time(sim.Nanosecond),
+			Arrive:   sim.Time(3 * sim.Nanosecond),
+			Dispatch: sim.Time(4 * sim.Nanosecond),
+			Start:    sim.Time(6 * sim.Nanosecond),
+			Complete: sim.Time(10 * sim.Nanosecond),
+		},
+		{ReqID: 9, Node: 0, Core: -1, DepthAtArrival: -1, DepthAtForward: -1,
+			BalancerRecv: trace.Unset, Forward: trace.Unset,
+			Arrive: sim.Time(0), Dispatch: trace.Unset,
+			Start: sim.Time(sim.Nanosecond), Complete: sim.Time(2 * sim.Nanosecond)},
+	}
+	var b bytes.Buffer
+	if err := WriteSpansJSONL(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"req":3`) || !strings.Contains(lines[0], `"hop_ns":2`) {
+		t.Fatalf("first line wrong: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], `"balancer_recv_ns":-1`) || !strings.Contains(lines[1], `"dispatch_ns":-1`) {
+		t.Fatalf("unset legs not -1: %s", lines[1])
+	}
+	if !strings.Contains(lines[1], `"total_ns":2`) {
+		t.Fatalf("single-machine total wrong: %s", lines[1])
+	}
+}

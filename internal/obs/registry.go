@@ -1,0 +1,335 @@
+// Package obs is the repository's observability surface: a dependency-free
+// Prometheus-style metrics registry (counters, gauges, latency histograms)
+// with text-format exposition, an HTTP server bundling /metrics, /healthz,
+// and /debug/pprof, and JSONL span export for offline trace analysis.
+//
+// It exists so the live runtime (internal/live, cmd/rpcvalet-live -obs) can
+// be watched while a run is in flight with stock Prometheus tooling — the
+// metrics/health substrate the ROADMAP's networked gateway mounts directly.
+// Instruments are safe for concurrent use and updates are a handful of
+// atomic operations, cheap enough for the serving path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimensions to an instrument. Instruments with the same
+// name and different labels coexist as one exposition family.
+type Labels map[string]string
+
+// render produces the canonical sorted {k="v",...} form, or "" for no labels.
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition format's label-value escaping.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by delta (CAS loop; safe under concurrency).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into cumulative le-buckets, exactly the
+// Prometheus histogram type: bucket counts, a +Inf catch-all, _sum and
+// _count. Observe is lock-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, +Inf excluded
+	counts  []atomic.Uint64
+	inf     atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v)
+	if idx < len(h.bounds) {
+		h.counts[idx].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the running sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// ExponentialBuckets returns n upper bounds starting at start and growing by
+// factor — the standard latency-bucket ladder.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExponentialBuckets wants start>0, factor>1, n>0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// DefLatencyBuckets spans 1 µs to ~8 s in doublings — wide enough for both
+// spin-mode (~10 µs) and sleep-mode (~300 µs) live service times and their
+// overload tails. Values are seconds, the Prometheus convention.
+var DefLatencyBuckets = ExponentialBuckets(1e-6, 2, 23)
+
+// instKind discriminates what a family holds.
+type instKind int
+
+const (
+	kindCounter instKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k instKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels string // canonical rendered form, registration order key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   instKind
+	series []*series
+	byKey  map[string]*series
+}
+
+// Registry holds instrument families and renders them in the Prometheus text
+// exposition format. Get-or-create lookups are mutex-guarded (registration
+// is rare); instrument updates are lock-free.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// lookup finds or creates the (family, series) pair, enforcing that a name
+// keeps one kind and one help string for its lifetime.
+func (r *Registry) lookup(name, help string, kind instKind, labels Labels) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered as %v, requested as %v", name, f.kind, kind))
+	}
+	key := labels.render()
+	s := f.byKey[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.byKey[key] = s
+		f.series = append(f.series, s)
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = newHistogram(buckets)
+	}
+	return s.h
+}
+
+// fnum renders a float the way the exposition format expects.
+func fnum(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels splices an extra label (le=...) into a rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// Expose writes every family in the Prometheus text exposition format
+// (text/plain; version=0.0.4): # HELP and # TYPE headers, then one line per
+// sample, histograms as cumulative le-buckets plus _sum and _count.
+func (r *Registry) Expose(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fnum(s.g.Value()))
+			case kindHistogram:
+				err = exposeHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func exposeHistogram(w io.Writer, name string, s *series) error {
+	h := s.h
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := mergeLabels(s.labels, `le="`+fnum(bound)+`"`)
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.inf.Load()
+	le := mergeLabels(s.labels, `le="+Inf"`)
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labels, fnum(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labels, h.Count())
+	return err
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.Expose(w)
+	})
+}

@@ -1,0 +1,61 @@
+package obs
+
+// RunMetrics bundles the instruments one serving run updates — the standard
+// request-lifecycle set the live runtime publishes while a run is in flight.
+// Every field is non-nil after NewRunMetrics; updates are atomic and safe
+// from the generator and every worker concurrently.
+type RunMetrics struct {
+	// Offered counts every arrival the open-loop generator released.
+	Offered *Counter
+	// Completed counts finished requests.
+	Completed *Counter
+	// Dropped counts arrivals shed at the queue cap.
+	Dropped *Counter
+	// Inflight tracks offered-minus-finished (completed or dropped).
+	Inflight *Gauge
+	// Latency observes end-to-end request latency, seconds.
+	Latency *Histogram
+	// Wait observes scheduled-arrival → service-start delay, seconds.
+	Wait *Histogram
+}
+
+// NewRunMetrics registers the run instrument set under the rpcvalet_*
+// namespace, every series carrying the given labels (e.g. plan="jbsq2").
+func NewRunMetrics(reg *Registry, labels Labels) *RunMetrics {
+	return &RunMetrics{
+		Offered: reg.Counter("rpcvalet_requests_offered_total",
+			"Arrivals released by the open-loop generator.", labels),
+		Completed: reg.Counter("rpcvalet_requests_completed_total",
+			"Requests served to completion.", labels),
+		Dropped: reg.Counter("rpcvalet_requests_dropped_total",
+			"Arrivals shed at the queue cap.", labels),
+		Inflight: reg.Gauge("rpcvalet_inflight_requests",
+			"Requests offered and not yet finished.", labels),
+		Latency: reg.Histogram("rpcvalet_request_latency_seconds",
+			"End-to-end request latency.", DefLatencyBuckets, labels),
+		Wait: reg.Histogram("rpcvalet_request_wait_seconds",
+			"Scheduled arrival to service start.", DefLatencyBuckets, labels),
+	}
+}
+
+// OnOffered records one generator release.
+func (m *RunMetrics) OnOffered() {
+	m.Offered.Inc()
+	m.Inflight.Add(1)
+}
+
+// OnDropped records one arrival shed at the queue cap.
+func (m *RunMetrics) OnDropped() {
+	m.Dropped.Inc()
+	m.Inflight.Add(-1)
+}
+
+// OnCompleted records one finished request with its measured latency and
+// pre-service wait, both in nanoseconds (converted to the histograms'
+// seconds).
+func (m *RunMetrics) OnCompleted(latNs, waitNs float64) {
+	m.Completed.Inc()
+	m.Inflight.Add(-1)
+	m.Latency.Observe(latNs / 1e9)
+	m.Wait.Observe(waitNs / 1e9)
+}

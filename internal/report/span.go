@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/trace"
+)
+
+// SpanTable renders a tail-sample set — the K slowest requests with their
+// span breakdowns — as a report table: one row per request, the latency
+// decomposed into hop / queue-wait / service legs plus the wait share and
+// the congestion the request arrived into. Unobserved attributions render
+// as "-".
+func SpanTable(title string, spans []trace.Span) *Table {
+	t := NewTable(title,
+		"req", "node", "core", "depth", "total_ns", "hop_ns", "wait_ns", "service_ns", "wait_share")
+	dash := func(v int) string {
+		if v < 0 {
+			return "-"
+		}
+		return fmt.Sprint(v)
+	}
+	for _, s := range spans {
+		t.AddRow(
+			fmt.Sprint(s.ReqID),
+			dash(s.Node),
+			dash(s.Core),
+			dash(s.DepthAtArrival),
+			fmt.Sprintf("%.0f", s.TotalNs()),
+			fmt.Sprintf("%.0f", s.HopNs()),
+			fmt.Sprintf("%.0f", s.QueueWaitNs()),
+			fmt.Sprintf("%.0f", s.ServiceNs()),
+			fmt.Sprintf("%.3f", s.WaitShare()),
+		)
+	}
+	return t
+}

@@ -1,0 +1,53 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/trace"
+)
+
+func TestSpanTable(t *testing.T) {
+	spans := []trace.Span{
+		{
+			ReqID: 7, Node: 2, Core: 5, DepthAtArrival: 3, DepthAtForward: 1,
+			BalancerRecv: sim.Time(0), Forward: sim.Time(100 * sim.Nanosecond),
+			Arrive:   sim.Time(600 * sim.Nanosecond),
+			Dispatch: sim.Time(650 * sim.Nanosecond),
+			Start:    sim.Time(900 * sim.Nanosecond),
+			Complete: sim.Time(1400 * sim.Nanosecond),
+		},
+		{
+			ReqID: 9, Node: -1, Core: -1, DepthAtArrival: -1, DepthAtForward: -1,
+			BalancerRecv: trace.Unset, Forward: trace.Unset, Dispatch: trace.Unset,
+			Arrive: sim.Time(0), Start: sim.Time(10 * sim.Nanosecond), Complete: sim.Time(40 * sim.Nanosecond),
+		},
+	}
+	tbl := SpanTable("tail", spans)
+	if tbl.Title != "tail" {
+		t.Fatalf("title = %q", tbl.Title)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// First span: hop 500ns (forward→arrive), wait 300ns, service 500ns,
+	// total 1400ns end to end, wait share 300/800.
+	for _, want := range []string{"wait_share", "1400", "500", "300", "0.375"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("span table missing %q:\n%s", want, out)
+		}
+	}
+	// Second span: unobserved attributions render as dashes.
+	row := tbl.Rows[1]
+	for _, col := range []int{1, 2, 3} { // node, core, depth
+		if row[col] != "-" {
+			t.Fatalf("untracked column %d = %q, want -", col, row[col])
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"testing"
+
+	"rpcvalet/internal/sim"
+)
+
+// events builds a full single-machine lifecycle for one request.
+func machineLifecycle(id uint64, arrive, dispatch, start, complete int64, core, depth int) []Event {
+	return []Event{
+		{ReqID: id, Phase: PhaseArrive, At: sim.Time(arrive), Core: -1, Depth: depth},
+		{ReqID: id, Phase: PhaseDispatch, At: sim.Time(dispatch), Core: core, Depth: -1},
+		{ReqID: id, Phase: PhaseStart, At: sim.Time(start), Core: core, Depth: -1},
+		{ReqID: id, Phase: PhaseComplete, At: sim.Time(complete), Core: core, Depth: -1},
+	}
+}
+
+func TestSpanAssembly(t *testing.T) {
+	evs := machineLifecycle(7, 100, 150, 400, 900, 3, 5)
+	spans := Spans(evs)
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+	s := spans[0]
+	if !s.Completed() {
+		t.Fatal("span not completed")
+	}
+	if s.ReqID != 7 || s.Core != 3 || s.DepthAtArrival != 5 {
+		t.Fatalf("attribution wrong: %+v", s)
+	}
+	if got := s.TotalNs(); got != sim.Time(900).Sub(sim.Time(100)).Nanos() {
+		t.Fatalf("total = %v", got)
+	}
+	if s.QueueWaitNs() != sim.Time(400).Sub(sim.Time(100)).Nanos() {
+		t.Fatalf("wait = %v", s.QueueWaitNs())
+	}
+	if s.ServiceNs() != sim.Time(900).Sub(sim.Time(400)).Nanos() {
+		t.Fatalf("service = %v", s.ServiceNs())
+	}
+	if s.HopNs() != 0 {
+		t.Fatalf("single-machine hop = %v, want 0", s.HopNs())
+	}
+	ws := s.WaitShare()
+	if ws <= 0 || ws >= 1 {
+		t.Fatalf("wait share = %v", ws)
+	}
+}
+
+func TestSpanClusterHops(t *testing.T) {
+	evs := []Event{
+		{ReqID: 1, Phase: PhaseBalancerRecv, At: sim.Time(10), Core: -1, Node: -1, Depth: 4},
+		{ReqID: 1, Phase: PhaseForward, At: sim.Time(20), Core: -1, Node: 2, Depth: 1},
+		{ReqID: 1, Phase: PhaseArrive, At: sim.Time(50), Core: -1, Node: 2, Depth: 0},
+		{ReqID: 1, Phase: PhaseDispatch, At: sim.Time(60), Core: 0, Node: 2, Depth: -1},
+		{ReqID: 1, Phase: PhaseStart, At: sim.Time(70), Core: 0, Node: 2, Depth: -1},
+		{ReqID: 1, Phase: PhaseComplete, At: sim.Time(170), Core: 0, Node: 2, Depth: -1},
+	}
+	s := Spans(evs)[0]
+	if s.Node != 2 || s.DepthAtForward != 1 || s.DepthAtArrival != 0 {
+		t.Fatalf("cluster attribution wrong: %+v", s)
+	}
+	if s.Begin() != sim.Time(10) {
+		t.Fatalf("begin = %v, want balancer recv", s.Begin())
+	}
+	if s.TotalNs() != sim.Time(170).Sub(sim.Time(10)).Nanos() {
+		t.Fatalf("total = %v", s.TotalNs())
+	}
+	if s.HopNs() != sim.Time(50).Sub(sim.Time(20)).Nanos() {
+		t.Fatalf("hop = %v", s.HopNs())
+	}
+}
+
+func TestSpanUnsetFields(t *testing.T) {
+	s := newSpan(1)
+	if s.TotalNs() != 0 || s.QueueWaitNs() != 0 || s.ServiceNs() != 0 || s.WaitShare() != 0 {
+		t.Fatal("empty span should measure zero everywhere")
+	}
+	if s.Completed() {
+		t.Fatal("empty span reports completed")
+	}
+	if s.String() == "" {
+		t.Fatal("empty span string")
+	}
+}
+
+func TestPhaseRankCausalOrder(t *testing.T) {
+	order := []Phase{PhaseBalancerRecv, PhaseForward, PhaseArrive, PhaseDispatch, PhaseStart, PhaseComplete}
+	for i := 1; i < len(order); i++ {
+		if order[i-1].Rank() >= order[i].Rank() {
+			t.Fatalf("%v rank %d not before %v rank %d",
+				order[i-1], order[i-1].Rank(), order[i], order[i].Rank())
+		}
+	}
+	if Phase(9).Rank() <= PhaseComplete.Rank() {
+		t.Fatal("unknown phase must rank last")
+	}
+}
+
+func TestNewPhaseStrings(t *testing.T) {
+	if PhaseBalancerRecv.String() != "balancer-recv" || PhaseForward.String() != "forward" {
+		t.Fatalf("hop phase strings: %q %q", PhaseBalancerRecv, PhaseForward)
+	}
+}
+
+func TestTailSamplerKeepsSlowest(t *testing.T) {
+	ts := NewTailSampler(3)
+	// 10 requests with totals 100, 200, ..., 1000 ns (in ps units via sim.FromNanos).
+	for i := 0; i < 10; i++ {
+		total := int64(sim.FromNanos(float64((i + 1) * 100)))
+		for _, e := range machineLifecycle(uint64(i), 0, total/4, total/2, total, i%4, i) {
+			ts.Record(e)
+		}
+	}
+	if ts.Completed() != 10 {
+		t.Fatalf("completed = %d", ts.Completed())
+	}
+	spans := ts.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("tail size = %d", len(spans))
+	}
+	for i, wantID := range []uint64{9, 8, 7} {
+		if spans[i].ReqID != wantID {
+			t.Fatalf("tail order: got %v", spans)
+		}
+	}
+	if spans[0].TotalNs() < spans[1].TotalNs() || spans[1].TotalNs() < spans[2].TotalNs() {
+		t.Fatal("tail not slowest-first")
+	}
+}
+
+func TestTailSamplerDeterministicTies(t *testing.T) {
+	run := func() []uint64 {
+		ts := NewTailSampler(2)
+		for i := 0; i < 6; i++ {
+			for _, e := range machineLifecycle(uint64(i), 0, 10, 20, 1000, 0, 0) {
+				ts.Record(e)
+			}
+		}
+		var ids []uint64
+		for _, s := range ts.Spans() {
+			ids = append(ids, s.ReqID)
+		}
+		return ids
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tie-break nondeterministic: %v vs %v", a, b)
+		}
+	}
+	// All totals equal: lowest request IDs survive (later equal spans never
+	// displace the retained ones), slowest-first sort then orders by ID.
+	if a[0] != 0 || a[1] != 1 {
+		t.Fatalf("tie retention: %v", a)
+	}
+}
+
+func TestTailSamplerPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTailSampler(0) did not panic")
+		}
+	}()
+	NewTailSampler(0)
+}
+
+func TestCollectorKeepsAll(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 5; i++ {
+		for _, e := range machineLifecycle(uint64(i), int64(i)*10, int64(i)*10+1, int64(i)*10+2, int64(i)*10+9, 0, 0) {
+			c.Record(e)
+		}
+	}
+	spans := c.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("collected = %d", len(spans))
+	}
+	for i, s := range spans {
+		if s.ReqID != uint64(i) || !s.Completed() {
+			t.Fatalf("completion order broken: %v", spans)
+		}
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	b1, b2 := NewBuffer(4), NewBuffer(4)
+	r := Tee(b1, nil, b2)
+	r.Record(Event{ReqID: 1, Phase: PhaseArrive})
+	if b1.Total() != 1 || b2.Total() != 1 {
+		t.Fatalf("tee totals: %d %d", b1.Total(), b2.Total())
+	}
+}
+
+func TestSortSlowestFirstTieBreak(t *testing.T) {
+	spans := []Span{
+		{ReqID: 5, Arrive: 0, Complete: 100},
+		{ReqID: 2, Arrive: 0, Complete: 100},
+		{ReqID: 9, Arrive: 0, Complete: 200},
+	}
+	SortSlowestFirst(spans)
+	if spans[0].ReqID != 9 || spans[1].ReqID != 2 || spans[2].ReqID != 5 {
+		t.Fatalf("sort order: %v", spans)
+	}
+}

@@ -1,10 +1,18 @@
-// Package trace records per-request lifecycle events from the machine model:
-// when a message was fully received by the NI, when the dispatcher assigned
-// it to a core, when the core's handler started, and when the replenish was
-// posted. It exists for observability — debugging dispatch behaviour, and
-// letting downstream users audit exactly where a tail request spent its time
-// — and for the test suite, which uses it to assert causal ordering through
-// the pipeline.
+// Package trace records per-request lifecycle events from every runtime in
+// the repository: when a message was fully received by the NI, when the
+// dispatcher assigned it to a core, when the core's handler started, and when
+// the replenish was posted — plus, for multi-node simulations
+// (internal/cluster), the balancer-side hop milestones that precede them. It
+// exists for observability — debugging dispatch behaviour, and letting
+// downstream users audit exactly where a tail request spent its time — and
+// for the test suite, which uses it to assert causal ordering through the
+// pipeline.
+//
+// Events are the raw stream; Span (span.go) is the assembled per-request
+// view, decomposing one RPC's end-to-end latency into hop, queue-wait, and
+// service components. TailSampler retains the K slowest spans of a run —
+// the anatomy of the tail — and Collector keeps every completed span for
+// offline export (JSONL via internal/obs).
 package trace
 
 import (
@@ -29,6 +37,18 @@ const (
 	PhaseComplete
 )
 
+// Cluster-hop milestones (multi-node runs). They precede PhaseArrive
+// causally but carry larger constant values so the original four phases keep
+// their historical encoding; use Rank for causal comparisons.
+const (
+	// PhaseBalancerRecv: the cluster balancer accepted the request — the
+	// end-to-end latency clock of a cluster run starts here.
+	PhaseBalancerRecv Phase = iota + 4
+	// PhaseForward: the balancer picked a node and forwarded the request
+	// onto the balancer→node hop.
+	PhaseForward
+)
+
 func (p Phase) String() string {
 	switch p {
 	case PhaseArrive:
@@ -39,8 +59,33 @@ func (p Phase) String() string {
 		return "start"
 	case PhaseComplete:
 		return "complete"
+	case PhaseBalancerRecv:
+		return "balancer-recv"
+	case PhaseForward:
+		return "forward"
 	default:
 		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Rank orders phases causally: balancer-recv < forward < arrive < dispatch <
+// start < complete. Unknown phases rank last.
+func (p Phase) Rank() int {
+	switch p {
+	case PhaseBalancerRecv:
+		return 0
+	case PhaseForward:
+		return 1
+	case PhaseArrive:
+		return 2
+	case PhaseDispatch:
+		return 3
+	case PhaseStart:
+		return 4
+	case PhaseComplete:
+		return 5
+	default:
+		return 6
 	}
 }
 
@@ -49,11 +94,21 @@ type Event struct {
 	ReqID uint64
 	Phase Phase
 	At    sim.Time
-	Core  int // serving core, -1 when not yet assigned
+	Core  int // serving core/worker, -1 when not yet assigned
+	// Node attributes the event to a cluster node; single-machine runs
+	// leave it 0, the balancer's own events carry -1.
+	Node int
+	// Depth is the queue-depth signal observed with the event (outstanding
+	// requests at arrival, the balancer's view at forward); -1 = untracked.
+	Depth int
 }
 
 func (e Event) String() string {
-	return fmt.Sprintf("req %d %s @%v core=%d", e.ReqID, e.Phase, e.At, e.Core)
+	s := fmt.Sprintf("req %d %s @%v core=%d", e.ReqID, e.Phase, e.At, e.Core)
+	if e.Depth >= 0 {
+		s += fmt.Sprintf(" depth=%d", e.Depth)
+	}
+	return s
 }
 
 // Recorder consumes lifecycle events. Implementations must be cheap: the

@@ -70,10 +70,26 @@
 // single-queue NI dispatch recovers from a 2× load pulse in fewer epochs
 // than the partitioned baseline, and that queue-aware cluster balancing
 // widens its advantage when a node degrades.
+//
+// # Observability
+//
+// Every runtime can explain its tail request by request. Setting
+// Config.TailSamples (or the cluster/live equivalents) retains the K slowest
+// requests as Spans — per-request latency decomposed into balancer hop,
+// queue wait, dispatch, and service legs, with core/node attribution and the
+// queue depth each request arrived into — on Result.TailSpans. A
+// TraceRecorder on Config.Trace streams every lifecycle event (sampled 1-in-N
+// via TraceSample); tracing is passive, costs zero allocations when disabled,
+// and never perturbs the simulated schedule — traced and untraced runs are
+// byte-identical. The obs exports serve live runs' counters and latency
+// histograms in Prometheus text format (ServeObs: /metrics, /healthz,
+// /debug/pprof), and WriteSpansJSONL exports span sets for offline analysis.
+// See DESIGN.md §7.
 package rpcvalet
 
 import (
 	"fmt"
+	"io"
 
 	"rpcvalet/internal/arrival"
 	"rpcvalet/internal/cluster"
@@ -82,8 +98,10 @@ import (
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/metrics"
 	"rpcvalet/internal/ni"
+	"rpcvalet/internal/obs"
 	"rpcvalet/internal/queueing"
 	"rpcvalet/internal/sim"
+	"rpcvalet/internal/trace"
 	"rpcvalet/internal/workload"
 )
 
@@ -431,6 +449,99 @@ func RunLive(cfg LiveConfig) (LiveResult, error) { return live.Run(cfg) }
 // LiveCapacityMRPS estimates the live configuration's saturation throughput:
 // workers over the scaled mean service time.
 func LiveCapacityMRPS(cfg LiveConfig) float64 { return live.CapacityMRPS(cfg) }
+
+// Span is the end-to-end anatomy of one request: its lifecycle milestones
+// (balancer receive, forward, arrival, dispatch, service start, completion)
+// with derived legs (HopNs, QueueWaitNs, DispatchNs, ServiceNs, WaitShare)
+// and attribution (node, core, queue depth at arrival). Unobserved
+// milestones are TraceUnset; fields a runtime cannot measure stay that way
+// (the live runtime has no dispatch timestamp, single-machine runs have no
+// balancer phases).
+type Span = trace.Span
+
+// TraceEvent is one request-lifecycle milestone emitted by a simulator or
+// reconstructed by the live runtime.
+type TraceEvent = trace.Event
+
+// TracePhase names a lifecycle milestone; phases order causally via Rank.
+type TracePhase = trace.Phase
+
+// The request-lifecycle phases, in causal order.
+const (
+	TraceBalancerRecv = trace.PhaseBalancerRecv
+	TraceForward      = trace.PhaseForward
+	TraceArrive       = trace.PhaseArrive
+	TraceDispatch     = trace.PhaseDispatch
+	TraceStart        = trace.PhaseStart
+	TraceComplete     = trace.PhaseComplete
+)
+
+// TraceUnset marks a span milestone that was never observed.
+const TraceUnset = trace.Unset
+
+// TraceRecorder consumes lifecycle events. Set one on Config.Trace,
+// Cluster.Trace, or LiveConfig.Trace; thin the stream with the matching
+// TraceSample field (1-in-N by request ID).
+type TraceRecorder = trace.Recorder
+
+// TraceFunc adapts a function to a TraceRecorder.
+type TraceFunc = trace.Func
+
+// TraceBuffer is a bounded ring of the most recent trace events.
+type TraceBuffer = trace.Buffer
+
+// NewTraceBuffer builds a trace ring holding the last capacity events.
+func NewTraceBuffer(capacity int) *TraceBuffer { return trace.NewBuffer(capacity) }
+
+// TraceCollector assembles a full event stream into completed Spans.
+type TraceCollector = trace.Collector
+
+// NewTraceCollector builds an empty span collector.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// AssembleSpans folds an event slice into Spans, one per request, in
+// first-seen order.
+func AssembleSpans(events []TraceEvent) []Span { return trace.Spans(events) }
+
+// SortSpansSlowestFirst orders spans by descending end-to-end latency
+// (request ID breaks ties deterministically).
+func SortSpansSlowestFirst(spans []Span) { trace.SortSlowestFirst(spans) }
+
+// ObsRegistry holds named Prometheus-style instruments (counters, gauges,
+// latency histograms) and writes them in text exposition format v0.0.4.
+type ObsRegistry = obs.Registry
+
+// NewObsRegistry builds an empty instrument registry.
+func NewObsRegistry() *ObsRegistry { return obs.NewRegistry() }
+
+// ObsLabels are the label set attached to an instrument.
+type ObsLabels = obs.Labels
+
+// ObsRunMetrics bundles the standard per-run instruments (offered /
+// completed / dropped counters, inflight gauge, latency and wait
+// histograms). Set it on LiveConfig.Obs to have a live run feed them while
+// serving.
+type ObsRunMetrics = obs.RunMetrics
+
+// NewObsRunMetrics registers the standard run instruments under the given
+// labels (e.g. the dispatch plan).
+func NewObsRunMetrics(reg *ObsRegistry, labels ObsLabels) *ObsRunMetrics {
+	return obs.NewRunMetrics(reg, labels)
+}
+
+// ObsServer is a live observability HTTP server.
+type ObsServer = obs.Server
+
+// ServeObs serves /metrics (Prometheus text format), /healthz, and
+// /debug/pprof on addr. A nil healthz reports healthy; a non-nil one turns
+// errors into 503s. Close the returned server when done.
+func ServeObs(addr string, reg *ObsRegistry, healthz func() error) (*ObsServer, error) {
+	return obs.Serve(addr, reg, healthz)
+}
+
+// WriteSpansJSONL writes spans one JSON object per line — the stable
+// offline-analysis export (unset milestones encode as -1).
+func WriteSpansJSONL(w io.Writer, spans []Span) error { return obs.WriteSpansJSONL(w, spans) }
 
 // QueueModel describes a theoretical Q×U queueing simulation (§2.2).
 type QueueModel = queueing.Config
