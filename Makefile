@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-json live-smoke obs-smoke
+.PHONY: all build fmt vet lint test race bench bench-json live-smoke obs-smoke shard-smoke
 
 # Pinned so CI and local runs agree on what "clean" means.
 STATICCHECK_VERSION = 2025.1.1
@@ -42,6 +42,13 @@ bench:
 live-smoke:
 	$(GO) test -short -run 'TestLive' -v ./internal/live
 
+# shard-smoke runs a short sharded figCluster under the race detector: the
+# full harness path (budgeted fan-out → sharded cluster.Run → conservative
+# pdes rounds) with cross-shard traffic on every policy × mode cell, run
+# twice to smoke run-to-run determinism. CI's race job runs it.
+shard-smoke:
+	$(GO) test -race -run '^TestShardSmoke$$' -v ./internal/core
+
 # obs-smoke proves the observability endpoints end to end: it starts
 # rpcvalet-live with -obs, scrapes /metrics and /healthz while the run is in
 # flight, and asserts Prometheus text format plus a nonzero completed
@@ -50,15 +57,18 @@ obs-smoke:
 	./scripts/obs_smoke.sh
 
 # bench-json emits machine-readable benchmark results (BENCH_*.json) for the
-# performance trajectory: the engine's scheduling hot path, the two
-# figure-regeneration benches that exercise the dispatch-plan and
-# transient-telemetry layers end to end, and the live runtime's wall-clock
-# shape comparison. CI uploads these as artifacts.
+# performance trajectory: the engine's scheduling hot path, the
+# figure-regeneration benches that exercise the dispatch-plan,
+# transient-telemetry, cluster, anatomy, and live layers end to end, the
+# sharded-engine (nodes × shards) throughput matrix, and the live runtime's
+# wall-clock shape comparison. CI uploads these as artifacts.
 bench-json:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineSchedule$$' -benchmem ./internal/sim \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
-	$(GO) test -run='^$$' -bench='^(BenchmarkFigPolicyPlans|BenchmarkFigTransient)$$' -benchtime=1x . \
+	$(GO) test -run='^$$' -bench='^(BenchmarkFigPolicyPlans|BenchmarkFigTransient|BenchmarkFigCluster|BenchmarkFigLive|BenchmarkFigAnatomy)$$' -benchtime=1x . \
 		| $(GO) run ./cmd/benchjson > BENCH_figures.json
+	$(GO) test -run='^$$' -bench='^BenchmarkClusterSharded$$' -benchtime=5x ./internal/cluster \
+		| $(GO) run ./cmd/benchjson > BENCH_cluster.json
 	$(GO) test -run='^$$' -bench='^BenchmarkLiveShapes$$' -benchtime=1x ./internal/live \
 		| $(GO) run ./cmd/benchjson > BENCH_live.json
 	{ $(GO) test -run='^$$' -bench='^BenchmarkTraceOverhead$$' -benchmem ./internal/machine; \

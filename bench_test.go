@@ -67,6 +67,7 @@ func BenchmarkFigBurstArrivals(b *testing.B)       { regen(b, "burst") }
 func BenchmarkFigPolicyPlans(b *testing.B)         { regen(b, "policy") }
 func BenchmarkFigTransient(b *testing.B)           { regen(b, "transient") }
 func BenchmarkFigAnatomy(b *testing.B)             { regen(b, "anatomy") }
+func BenchmarkFigCluster(b *testing.B)             { regen(b, "cluster") }
 
 // BenchmarkFigLive regenerates the live-runtime figure: wall-clock goroutine
 // runs, so its ns/op measures real serving windows, not simulator speed.

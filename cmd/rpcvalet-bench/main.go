@@ -5,7 +5,12 @@
 // Usage:
 //
 //	rpcvalet-bench [-fig 7a] [-quick] [-format text|csv|json] [-seed N]
-//	               [-workers N]
+//	               [-workers N] [-shards N]
+//
+// -shards runs every cluster simulation on N parallel engine shards
+// synchronized at the balancer hop (0/1 = the serial engine, byte-identical
+// to the pinned figures); sweep fan-out narrows so -workers still caps total
+// goroutines.
 //
 // Without -fig it regenerates every registered figure in order. EXPERIMENTS.md
 // is produced from this command's output.
@@ -29,6 +34,7 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "experiment seed")
 		points  = flag.Int("points", 0, "points per curve (0 = scale default)")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
+		shards  = flag.Int("shards", 0, "parallel engine shards per cluster simulation (0/1 = serial engine; cluster figures only)")
 	)
 	flag.Parse()
 
@@ -43,6 +49,7 @@ func main() {
 	if *workers > 0 {
 		opts.Workers = *workers
 	}
+	opts.Shards = *shards
 
 	ids := core.FigureIDs
 	if *fig != "" {

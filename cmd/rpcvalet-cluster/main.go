@@ -13,7 +13,7 @@
 //	                 [-epoch 25us] [-timeline]
 //	                 [-tail 32] [-trace-sample 1024] [-trace-jsonl spans.jsonl]
 //	                 [-warmup 2000] [-measure 20000] [-seed 1] [-workers N]
-//	                 [-format text|csv|json] [-detail]
+//	                 [-shards N] [-format text|csv|json] [-detail]
 //
 // Modes name the per-node NI dispatch model: 1x16 (RPCValet), 4x4, 16x1
 // (RSS baseline), sw (MCS software queue). -dispatch overrides -mode with a
@@ -30,6 +30,13 @@
 // "square@PERIOD/HIGH:xF"); -degrade injects per-node faults
 // ("0:x1.5;3:pause@500us+100us"); -timeline prints the highest-load
 // point's aggregate and per-node timelines for the first policy.
+//
+// -shards runs each simulation on N parallel engine shards — per-node-group
+// event wheels plus a balancer shard, synchronized conservatively at the
+// network hop (the lookahead window). 0 or 1 selects the serial single-clock
+// engine, byte-identical to all pinned results; N > 1 is deterministic for a
+// fixed (seed, shards) pair. Sweep fan-out narrows so -workers still caps
+// total goroutines.
 //
 // Observability: -tail and -trace-jsonl re-run the highest-load point for
 // the first policy (the same run -timeline inspects) with request tracing
@@ -74,6 +81,7 @@ func main() {
 		epoch    = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
 		timeline = flag.Bool("timeline", false, "print the highest-load point's timelines (first policy)")
 		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
+		shards   = flag.Int("shards", 0, "parallel engine shards per simulation (0/1 = serial single-clock engine)")
 
 		tailK       = flag.Int("tail", 0, "retain the K slowest requests of the highest-load point (first policy) with cross-node span breakdowns")
 		traceSample = flag.Int("trace-sample", 0, "trace 1 in N requests (0/1 = every request; used with -trace-jsonl)")
@@ -191,6 +199,7 @@ func main() {
 		cfg.Warmup = *warmup
 		cfg.Measure = *measure
 		cfg.Seed = *seed
+		cfg.Shards = *shards
 		capacity = rpcvalet.ClusterCapacityMRPS(cfg)
 		if loads == nil {
 			loads = fractions(*lo, *hi, *points)

@@ -88,6 +88,17 @@ type Config struct {
 	// (end-to-end, hop included) on Result.TailSpans with full span
 	// breakdowns. Passive: healthy result streams stay byte-identical.
 	TailSamples int
+	// Shards splits the simulation across parallel event engines: the
+	// node set is partitioned into Shards contiguous groups, each with its
+	// own clock and goroutine, plus the balancer on its own shard, all
+	// synchronized conservatively in Hop-wide rounds (internal/sim/pdes).
+	// 0 and 1 run the historical single-engine path, byte-identical to
+	// every pinned result. Shards > 1 requires Hop > 0 (the lookahead) and
+	// is clamped to Nodes; it changes when the balancer *learns* of
+	// completions (one hop later — the notification crosses the network
+	// back) but is itself deterministic: a fixed (Seed, Shards>1) pair
+	// reproduces the identical Result at any shard count ≥ 2.
+	Shards int
 }
 
 // NodeFault assigns one node a machine-level fault: a service-time slowdown
@@ -152,6 +163,10 @@ func (c Config) validate() error {
 		return fmt.Errorf("cluster: negative epoch length")
 	case c.MaxEpochs < 0:
 		return fmt.Errorf("cluster: negative epoch bound")
+	case c.Shards < 0:
+		return fmt.Errorf("cluster: negative shard count %d", c.Shards)
+	case c.Shards > 1 && c.Hop <= 0:
+		return fmt.Errorf("cluster: Shards=%d needs a positive Hop (the conservative lookahead window)", c.Shards)
 	}
 	for _, f := range c.Faults {
 		if f.Node < 0 || f.Node >= c.Nodes {
@@ -286,10 +301,15 @@ func (t *nodeTracer) Record(e trace.Event) {
 // Run simulates the configured cluster and returns its measurements.
 // Identical configurations produce identical results: the nodes, the
 // arrival stream, and the policy all draw from streams split off cfg.Seed,
-// and the whole cluster executes on one deterministic engine.
+// and the whole cluster executes on one deterministic engine — or, with
+// Config.Shards > 1, on several engines advanced in deterministic
+// hop-lookahead rounds (see shard.go).
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Shards > 1 && min(cfg.Shards, cfg.Nodes) > 1 {
+		return runSharded(cfg)
 	}
 	eng := sim.New()
 	root := rng.New(cfg.Seed)
@@ -434,6 +454,15 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, runErr
 	}
 
+	return assemble(cfg, rec, tail, nodes, faultByNode, nodeCompleted, completed, timedOut), nil
+}
+
+// assemble builds the Result from a finished run's recorders and machines.
+// Both engine paths (single-clock Run, sharded runSharded) end here, so the
+// derived fields are computed identically.
+func assemble(cfg Config, rec *metrics.Recorder, tail *trace.TailSampler,
+	nodes []*machine.Machine, faultByNode []machine.Fault,
+	nodeCompleted []int, completed int, timedOut bool) Result {
 	res := Result{
 		Policy:        cfg.Policy.String(),
 		Nodes:         cfg.Nodes,
@@ -478,7 +507,7 @@ func Run(cfg Config) (Result, error) {
 		res.SLONanos = wl.SLOFactor * (wl.MeanService() + cfg.Node.Params.CoreOverheadNanos())
 	}
 	res.MeetsSLO = !timedOut && res.Latency.Count > 0 && res.Latency.P99 <= res.SLONanos
-	return res, nil
+	return res
 }
 
 // Point is one (rate, tail) observation of a cluster latency-throughput

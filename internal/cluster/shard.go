@@ -1,0 +1,296 @@
+package cluster
+
+// Sharded cluster execution: the conservative parallel-DES path behind
+// Config.Shards > 1.
+//
+// Topology: the node set is split into Shards contiguous groups, each group
+// running its machines on a private sim.Engine driven by its own goroutine;
+// the balancer (arrival stream, policy, depth view, metrics recorder) is one
+// more shard with its own engine. internal/sim/pdes advances all of them in
+// lockstep rounds exactly one Hop wide — Hop is the conservative lookahead:
+// every cross-shard effect (balancer→node inject, node→balancer completion
+// notification) is charged one network hop, so a message emitted during a
+// round can only take effect after the round's deadline, and each shard can
+// simulate a whole round without observing the others.
+//
+// Determinism: cross-shard messages are merged between rounds by
+// (timestamp, cluster-wide request id) — a key independent of how the nodes
+// were partitioned — and delivered into the destination engine in that
+// order; trace events are flushed per round sorted by (At, ReqID, phase
+// rank). Per-node RNG seeds are split off the root in node order exactly as
+// the serial path does. Together these make the Result a pure function of
+// (Config, Seed): identical across repeated runs and across every shard
+// count ≥ 2.
+//
+// Semantics vs the serial engine: the only visible difference is feedback
+// latency. On the shared clock the balancer's depth view reflects a
+// completion the instant it happens; here the notification physically
+// crosses the network back, so the view (and the completion counters that
+// close the measurement window) run one Hop behind. Per-request latency is
+// still measured balancer-ingress → handler-completion, identical to the
+// serial definition. Shards ≤ 1 never reaches this file.
+
+import (
+	"fmt"
+	"sort"
+
+	"rpcvalet/internal/arrival"
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/metrics"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/sim/pdes"
+	"rpcvalet/internal/trace"
+)
+
+// injectMsg is a balancer→node-shard routed RPC; it takes effect (the
+// node's NI sees the message) one Hop after the balancer forwarded it.
+type injectMsg struct {
+	id   uint64   // cluster-wide sequence number
+	node int      // destination node (global index)
+	sent sim.Time // balancer ingress time, the latency epoch
+}
+
+// doneMsg is a node→balancer completion notification; it takes effect (the
+// balancer's view learns of the drain) one Hop after the handler finished.
+type doneMsg struct {
+	node     int
+	sent     sim.Time // echoed from the inject, for end-to-end latency
+	measured bool
+}
+
+// nodeShard is one group of machines on a private engine.
+type nodeShard struct {
+	eng  *sim.Engine
+	buf  []trace.Event         // this round's trace events, flushed at exchange
+	done pdes.Mailbox[doneMsg] // this round's completions, drained at exchange
+}
+
+func runSharded(cfg Config) (Result, error) {
+	nshards := min(cfg.Shards, cfg.Nodes)
+
+	// Tracing sinks mirror the serial path, but shards buffer events during
+	// a round and the exchange feeds the sinks in deterministic order.
+	var tail *trace.TailSampler
+	if cfg.TailSamples > 0 {
+		tail = trace.NewTailSampler(cfg.TailSamples)
+	}
+	sampleN := uint64(1)
+	if cfg.TraceSample > 1 {
+		sampleN = uint64(cfg.TraceSample)
+	}
+	tracing := cfg.Trace != nil || tail != nil
+
+	// Seed derivation order is identical to the serial path, so node i's
+	// RNG streams are the same at every shard count.
+	root := rng.New(cfg.Seed)
+	arrRNG := root.Split()
+	polRNG := root.Split()
+
+	faultByNode := make([]machine.Fault, cfg.Nodes)
+	for _, f := range cfg.Faults {
+		faultByNode[f.Node] = machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses}
+	}
+
+	// Contiguous partition: shard s owns nodes [s·N/S, (s+1)·N/S).
+	shards := make([]*nodeShard, nshards)
+	shardOf := make([]int, cfg.Nodes)
+	for s := range shards {
+		shards[s] = &nodeShard{eng: sim.New()}
+		for i := s * cfg.Nodes / nshards; i < (s+1)*cfg.Nodes/nshards; i++ {
+			shardOf[i] = s
+		}
+	}
+	nodes := make([]*machine.Machine, cfg.Nodes)
+	tracers := make([]*nodeTracer, cfg.Nodes)
+	for i := range nodes {
+		ncfg := cfg.Node
+		ncfg.Seed = root.Split().Uint64()
+		ncfg.Epoch = cfg.Epoch
+		ncfg.MaxEpochs = cfg.MaxEpochs
+		if len(cfg.NodePlans) > 0 && cfg.NodePlans[i] != nil {
+			ncfg.Params.Plan = cfg.NodePlans[i]
+		}
+		ncfg.Slowdown = faultByNode[i].Slowdown
+		ncfg.Pauses = faultByNode[i].Pauses
+		sh := shards[shardOf[i]]
+		if tracing {
+			tracers[i] = &nodeTracer{node: i, emit: func(e trace.Event) { sh.buf = append(sh.buf, e) }}
+			ncfg.Trace = tracers[i]
+			ncfg.TraceSample = 0 // sampling happens on cluster IDs at flush
+			ncfg.TailSamples = 0 // the cluster-level tail splices the hop in
+		}
+		m, err := machine.NewShared(ncfg, sh.eng)
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		nodes[i] = m
+	}
+
+	// The balancer shard: arrival stream, policy, depth view, recorder.
+	beng := sim.New()
+	var bbuf []trace.Event
+	v := newView(cfg.Nodes, cfg.SampleEvery == 0)
+	if !v.live {
+		var refresh func()
+		refresh = func() {
+			v.snapshot()
+			beng.Schedule(cfg.SampleEvery, refresh)
+		}
+		beng.Schedule(cfg.SampleEvery, refresh)
+	}
+	inject := make([]*pdes.Mailbox[injectMsg], nshards)
+	for s := range inject {
+		inject[s] = &pdes.Mailbox[injectMsg]{}
+	}
+
+	var (
+		completed     int
+		totalOut      int // dispatched and not yet *known* complete
+		nodeCompleted = make([]int, cfg.Nodes)
+		target        = cfg.Warmup + cfg.Measure
+		timedOut      bool
+		halt          bool
+		runErr        error
+	)
+	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs})
+	stop := func() {
+		halt = true
+		beng.Stop()
+	}
+	if cfg.MaxSimTime > 0 {
+		beng.Schedule(cfg.MaxSimTime, func() {
+			timedOut = true
+			stop()
+		})
+	}
+
+	arr := arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
+	var seq uint64 // cluster-wide request sequence number
+	var arrive func()
+	arrive = func() {
+		id := seq
+		seq++
+		n := cfg.Policy.Pick(v, polRNG)
+		if n < 0 || n >= cfg.Nodes {
+			runErr = fmt.Errorf("cluster: policy %s picked node %d of %d", cfg.Policy, n, cfg.Nodes)
+			stop()
+			return
+		}
+		if tracing {
+			now := beng.Now()
+			bbuf = append(bbuf,
+				trace.Event{ReqID: id, Phase: trace.PhaseBalancerRecv, At: now, Core: -1, Node: -1, Depth: totalOut},
+				trace.Event{ReqID: id, Phase: trace.PhaseForward, At: now, Core: -1, Node: n, Depth: v.Depth(n)})
+		}
+		v.dispatched(n)
+		totalOut++
+		sent := beng.Now()
+		inject[shardOf[n]].Send(sent.Add(cfg.Hop), id, injectMsg{id: id, node: n, sent: sent})
+		beng.Schedule(arr.Next(arrRNG), arrive)
+	}
+	beng.Schedule(arr.Next(arrRNG), arrive)
+
+	// deliver applies one completion notification on the balancer at
+	// notification time `at`; the handler actually finished one Hop earlier,
+	// and the measurement stream is stamped with that completion time so
+	// latency and epoch slicing match the serial definitions.
+	deliver := func(at sim.Time, d doneMsg) {
+		c := at.Add(-cfg.Hop)
+		v.completed(d.node)
+		totalOut--
+		completed++
+		nodeCompleted[d.node]++
+		if completed == cfg.Warmup+1 {
+			rec.OpenWindow(c)
+		}
+		rec.Complete(c, metrics.Completion{
+			Class:     -1,
+			Measured:  d.measured,
+			LatencyNs: c.Sub(d.sent).Nanos(),
+			WaitNs:    -1,
+			ServiceNs: -1,
+			Depth:     totalOut,
+		})
+		if completed >= target {
+			rec.CloseWindow(c)
+			stop()
+		}
+	}
+
+	var (
+		injScratch  []pdes.Msg[injectMsg]
+		doneScratch []pdes.Msg[doneMsg]
+		doneBoxes   = make([]*pdes.Mailbox[doneMsg], nshards)
+		evScratch   []trace.Event
+	)
+	for s, sh := range shards {
+		doneBoxes[s] = &sh.done
+	}
+
+	// exchange runs single-threaded between rounds: deliver the round's
+	// cross-shard messages in (At, request id) order and flush its trace
+	// events in (At, ReqID, phase-rank) order — both partition-independent.
+	exchange := func(deadline sim.Time) bool {
+		for s, sh := range shards {
+			injScratch = pdes.Gather(injScratch, inject[s])
+			for _, m := range injScratch {
+				msg := m.Payload
+				sh.eng.ScheduleAt(m.At, func() {
+					if tracing {
+						// The machine numbers this inject len(ids); remember
+						// its cluster-wide identity at that index.
+						tracers[msg.node].ids = append(tracers[msg.node].ids, msg.id)
+					}
+					nodes[msg.node].Inject(func(_ int, measured bool) {
+						sh.done.Send(sh.eng.Now().Add(cfg.Hop), msg.id,
+							doneMsg{node: msg.node, sent: msg.sent, measured: measured})
+					})
+				})
+			}
+		}
+		doneScratch = pdes.Gather(doneScratch, doneBoxes...)
+		for _, m := range doneScratch {
+			at, d := m.At, m.Payload
+			beng.ScheduleAt(at, func() { deliver(at, d) })
+		}
+		if tracing {
+			evScratch = append(evScratch[:0], bbuf...)
+			bbuf = bbuf[:0]
+			for _, sh := range shards {
+				evScratch = append(evScratch, sh.buf...)
+				sh.buf = sh.buf[:0]
+			}
+			sort.Slice(evScratch, func(i, j int) bool {
+				a, b := evScratch[i], evScratch[j]
+				if a.At != b.At {
+					return a.At < b.At
+				}
+				if a.ReqID != b.ReqID {
+					return a.ReqID < b.ReqID
+				}
+				return a.Phase.Rank() < b.Phase.Rank()
+			})
+			for _, e := range evScratch {
+				if tail != nil {
+					tail.Record(e)
+				}
+				if cfg.Trace != nil && e.ReqID%sampleN == 0 {
+					cfg.Trace.Record(e)
+				}
+			}
+		}
+		return !halt && runErr == nil
+	}
+
+	rounds := make([]pdes.RoundFunc, 0, nshards+1)
+	for _, sh := range shards {
+		rounds = append(rounds, func(d sim.Time) { sh.eng.RunUntil(d) })
+	}
+	rounds = append(rounds, func(d sim.Time) { beng.RunUntil(d) })
+	pdes.Run(cfg.Hop, rounds, exchange)
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	return assemble(cfg, rec, tail, nodes, faultByNode, nodeCompleted, completed, timedOut), nil
+}

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// BenchmarkClusterSharded is the sharded-sweep study: one fixed cluster
+// configuration (JSQ(2) over exponential-service nodes at 70% of aggregate
+// capacity) run to completion at every (nodes, shards) cell, reporting
+// simulated-RPC throughput as sim_mrps. shards=1 is the serial single-clock
+// baseline every speedup is measured against; `make bench-json` records the
+// matrix in BENCH_cluster.json, and EXPERIMENTS.md derives the speedups.
+//
+// The parallel path's wall-clock win is bounded by min(shards+1, GOMAXPROCS):
+// each shard is one goroutine, so a host with fewer cores than shards
+// serializes the rounds and measures only the protocol's synchronization
+// overhead. gomaxprocs is reported alongside so recorded numbers are
+// interpretable on any host.
+func BenchmarkClusterSharded(b *testing.B) {
+	for _, nodes := range []int{25, 100, 400} {
+		for _, shards := range []int{1, 2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("nodes=%d/shards=%d", nodes, shards), func(b *testing.B) {
+				cfg := baseConfig(nodes, JSQ{D: 2}, 0.7)
+				cfg.Warmup = 500
+				cfg.Measure = 10000
+				cfg.Shards = shards
+				total := cfg.Warmup + cfg.Measure
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c := cfg
+					c.Policy = cfg.Policy.Clone()
+					res, err := Run(c)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Completed != total {
+						b.Fatalf("completed %d of %d", res.Completed, total)
+					}
+				}
+				b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds()/1e6, "sim_mrps")
+				b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			})
+		}
+	}
+}

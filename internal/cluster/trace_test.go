@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"rpcvalet/internal/sim"
 	"rpcvalet/internal/trace"
 )
 
@@ -70,6 +71,108 @@ func TestCrossNodeTraceCausality(t *testing.T) {
 			}
 			if completed < res.Completed {
 				t.Fatalf("%d fully traced completions for %d completed requests", completed, res.Completed)
+			}
+		})
+	}
+}
+
+// TestShardedTraceCausality is the cross-shard causality property: the
+// anatomy/trace path run on a *sharded* cluster — nodes split across
+// parallel engines, trace events merged between hop-wide rounds — must
+// still deliver, for every balancer policy, per-request lifecycles whose
+// phases are causally ordered across the shard boundaries. Both views are
+// checked: the merged event stream (full 6-phase lifecycle, ranks strictly
+// increasing, time never running backwards, one serving node, hop-wide
+// forward→arrive) and every TailSpan's milestone ranks
+// (balancer-recv ≤ forward ≤ arrive ≤ dispatch ≤ start ≤ complete).
+func TestShardedTraceCausality(t *testing.T) {
+	for _, name := range PolicyNames {
+		t.Run(name, func(t *testing.T) {
+			pol, err := PolicyByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := baseConfig(8, pol, 0.6)
+			cfg.Shards = 4
+			cfg.Warmup = 50
+			cfg.Measure = 800
+			cfg.TailSamples = 16
+			var events []trace.Event
+			cfg.Trace = trace.Func(func(e trace.Event) { events = append(events, e) })
+			res := run(t, cfg)
+
+			byReq := make(map[uint64][]trace.Event)
+			for _, e := range events {
+				byReq[e.ReqID] = append(byReq[e.ReqID], e)
+			}
+			completed := 0
+			for id, evs := range byReq {
+				if evs[len(evs)-1].Phase != trace.PhaseComplete {
+					continue // still in flight when the run stopped
+				}
+				completed++
+				node := -2 // unassigned
+				for i, e := range evs {
+					if i == 0 {
+						if e.Phase != trace.PhaseBalancerRecv {
+							t.Fatalf("req %d: first phase %v, want balancer-recv", id, e.Phase)
+						}
+						continue
+					}
+					prev := evs[i-1]
+					if e.Phase.Rank() <= prev.Phase.Rank() {
+						t.Fatalf("req %d: %v after %v", id, e.Phase, prev.Phase)
+					}
+					if e.At < prev.At {
+						t.Fatalf("req %d: time ran backwards at %v", id, e.Phase)
+					}
+					if e.Phase == trace.PhaseForward {
+						node = e.Node
+					} else if node != -2 && e.Node != node {
+						t.Fatalf("req %d: forwarded to node %d, %v on node %d", id, node, e.Phase, e.Node)
+					}
+					if e.Phase == trace.PhaseArrive && e.At.Sub(prev.At) < cfg.Hop {
+						t.Fatalf("req %d: hop %v shorter than configured %v", id, e.At.Sub(prev.At), cfg.Hop)
+					}
+				}
+				if len(evs) != 6 {
+					t.Fatalf("req %d: %d events, want the full 6-phase lifecycle", id, len(evs))
+				}
+			}
+			if completed < res.Completed {
+				t.Fatalf("%d fully traced completions for %d completed requests", completed, res.Completed)
+			}
+
+			if len(res.TailSpans) != cfg.TailSamples {
+				t.Fatalf("tail spans = %d, want %d", len(res.TailSpans), cfg.TailSamples)
+			}
+			for i, s := range res.TailSpans {
+				milestones := []struct {
+					phase string
+					at    sim.Time
+				}{
+					{"balancer-recv", s.BalancerRecv},
+					{"forward", s.Forward},
+					{"arrive", s.Arrive},
+					{"dispatch", s.Dispatch},
+					{"start", s.Start},
+					{"complete", s.Complete},
+				}
+				for j, m := range milestones {
+					if m.at == trace.Unset {
+						t.Fatalf("tail span %d (req %d): %s unobserved", i, s.ReqID, m.phase)
+					}
+					if j > 0 && m.at < milestones[j-1].at {
+						t.Fatalf("tail span %d (req %d): %s at %v before %s at %v — causality broke at a shard boundary",
+							i, s.ReqID, m.phase, m.at, milestones[j-1].phase, milestones[j-1].at)
+					}
+				}
+				if s.Node < 0 || s.Node >= cfg.Nodes {
+					t.Fatalf("tail span %d: serving node %d of %d", i, s.Node, cfg.Nodes)
+				}
+				if s.HopNs() < cfg.Hop.Nanos() {
+					t.Fatalf("tail span %d: hop %.0fns < configured %.0fns", i, s.HopNs(), cfg.Hop.Nanos())
+				}
 			}
 		})
 	}

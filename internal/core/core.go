@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 
+	"rpcvalet/internal/cluster"
 	"rpcvalet/internal/machine"
 	"rpcvalet/internal/report"
 	"rpcvalet/internal/sim"
@@ -31,6 +32,14 @@ type Options struct {
 	KneeIters int // bisection steps refining each curve's SLO knee
 	Seed      uint64
 	Workers   int // concurrent simulations (each is single-threaded); 0 = NumCPU
+	// Shards splits every cluster simulation across parallel event engines
+	// (cluster.Config.Shards): ≤ 1 runs the historical single-clock engine,
+	// byte-identical to every pinned result. With Shards > 1 each cluster run
+	// occupies a team of goroutines (node shards + the balancer shard), so
+	// sweeps budget their fan-out accordingly: Workers stays the cap on
+	// *total* goroutines, and the number of simulations in flight shrinks to
+	// Workers / team size (see BudgetWorkers). Machine-only figures ignore it.
+	Shards int
 }
 
 // DefaultOptions sizes runs for figure regeneration (seconds per figure).
@@ -199,6 +208,32 @@ func GeometricRateGrid(capacity float64, lo, hi float64, n int) []float64 {
 		rates[i] = capacity * f
 	}
 	return rates
+}
+
+// RunCost reports how many goroutines one cluster.Run of cfg occupies: 1 on
+// the serial single-clock path, the whole shard team (node shards plus the
+// balancer shard) on the parallel path. Sweep layers divide their worker cap
+// by it so Options.Workers stays a true bound on total running goroutines.
+func RunCost(cfg cluster.Config) int {
+	if shards := min(cfg.Shards, cfg.Nodes); shards > 1 {
+		return shards + 1
+	}
+	return 1
+}
+
+// BudgetWorkers converts a sweep-level worker cap (0 = NumCPU) into the
+// number of simulations allowed in flight when each simulation itself runs
+// costPerRun goroutines. At least one simulation always proceeds, so a
+// Shards setting wider than the cap degrades to sequential points rather
+// than failing.
+func BudgetWorkers(workers, costPerRun int) int {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if costPerRun > 1 {
+		workers /= costPerRun
+	}
+	return max(workers, 1)
 }
 
 // runPoints is the shared worker pool behind every sweep in the harness: it

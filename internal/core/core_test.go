@@ -703,3 +703,83 @@ func TestFigureBurstClaims(t *testing.T) {
 		}
 	}
 }
+
+// TestRunCost: the goroutine team one cluster.Run occupies — 1 on the
+// serial path, shard count (clamped to nodes) plus the balancer shard on
+// the parallel path.
+func TestRunCost(t *testing.T) {
+	cases := []struct {
+		nodes, shards, want int
+	}{
+		{8, 0, 1},  // zero value: serial
+		{8, 1, 1},  // explicit serial
+		{8, 4, 5},  // 4 node shards + balancer
+		{2, 16, 3}, // clamped to nodes
+		{1, 16, 1}, // one node degrades to serial
+	}
+	for _, c := range cases {
+		if got := RunCost(cluster.Config{Nodes: c.nodes, Shards: c.shards}); got != c.want {
+			t.Errorf("RunCost(nodes=%d, shards=%d) = %d, want %d", c.nodes, c.shards, got, c.want)
+		}
+	}
+}
+
+// TestBudgetWorkers: sweep fan-out divides by the per-run goroutine team so
+// the worker cap bounds total goroutines, never dropping below one
+// simulation in flight.
+func TestBudgetWorkers(t *testing.T) {
+	cases := []struct {
+		workers, cost, want int
+	}{
+		{16, 1, 16},
+		{16, 5, 3},
+		{4, 5, 1},  // team wider than the cap: sequential points
+		{1, 99, 1}, // never zero
+	}
+	for _, c := range cases {
+		if got := BudgetWorkers(c.workers, c.cost); got != c.want {
+			t.Errorf("BudgetWorkers(%d, %d) = %d, want %d", c.workers, c.cost, got, c.want)
+		}
+	}
+	if got := BudgetWorkers(0, 1); got != runtime.NumCPU() {
+		t.Errorf("BudgetWorkers(0, 1) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+}
+
+// TestShardSmoke is the `make shard-smoke` target: a short sharded
+// figCluster run under the race detector in CI — the full harness path
+// (figure → budgeted fan-out → sharded cluster.Run → pdes rounds) with
+// every policy × mode cell exercising cross-shard traffic concurrently.
+// Run twice to also smoke run-to-run determinism of the sharded figure.
+func TestShardSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Points = 2
+	o.Measure = 1500
+	o.Shards = 4
+	gen := func() Figure {
+		fig, err := figCluster(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Tables) == 0 {
+			t.Fatal("sharded figCluster produced no tables")
+		}
+		for _, tbl := range fig.Tables {
+			if len(tbl.Rows) != o.Points {
+				t.Fatalf("table %q has %d rows, want %d", tbl.Title, len(tbl.Rows), o.Points)
+			}
+		}
+		return fig
+	}
+	a, b := gen(), gen()
+	for ti := range a.Tables {
+		for ri := range a.Tables[ti].Rows {
+			for ci := range a.Tables[ti].Rows[ri] {
+				if a.Tables[ti].Rows[ri][ci] != b.Tables[ti].Rows[ri][ci] {
+					t.Fatalf("sharded figCluster diverged run-to-run: table %q cell [%d][%d]: %v vs %v",
+						a.Tables[ti].Title, ri, ci, a.Tables[ti].Rows[ri][ci], b.Tables[ti].Rows[ri][ci])
+				}
+			}
+		}
+	}
+}

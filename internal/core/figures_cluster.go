@@ -23,6 +23,8 @@ const ClusterNodes = 4
 const ClusterHop = 500 * sim.Nanosecond
 
 // clusterBase assembles a cluster config over the given per-node mode.
+// Options.Shards is threaded through, so every cluster figure and sweep in
+// the harness runs sharded when asked to.
 func clusterBase(o Options, wl workload.Profile, mode machine.Mode, pol cluster.Policy) cluster.Config {
 	p := machine.Defaults()
 	p.Mode = mode
@@ -34,14 +36,17 @@ func clusterBase(o Options, wl workload.Profile, mode machine.Mode, pol cluster.
 		Warmup:  o.Warmup,
 		Measure: o.Measure,
 		Seed:    o.Seed,
+		Shards:  o.Shards,
 	}
 }
 
 // ClusterSweep runs the cluster at every aggregate rate (concurrently, on
 // runPoints) and returns the curve in rate order. Each point gets a freshly
 // cloned policy, so rotation state never leaks across points or goroutines.
+// When base is sharded, each point is itself a team of goroutines, so the
+// fan-out narrows to keep `workers` the cap on total goroutines.
 func ClusterSweep(base cluster.Config, rates []float64, label string, workers int) (cluster.Curve, error) {
-	points, err := runPoints(len(rates), workers, func(i int) (cluster.Point, error) {
+	points, err := runPoints(len(rates), BudgetWorkers(workers, RunCost(base)), func(i int) (cluster.Point, error) {
 		rate := rates[i]
 		cfg := base
 		cfg.RateMRPS = rate
@@ -106,8 +111,12 @@ func figCluster(o Options) (Figure, error) {
 	// earlier version spawned a goroutine per cell around a parallel
 	// ClusterSweep, multiplying concurrency to cells × o.Workers.)
 	// ClusterSweep's points are deterministic for any worker count, so the
-	// flattening is result-identical.
-	cellCurves, err := runPoints(len(cells), o.Workers, func(i int) (cluster.Curve, error) {
+	// flattening is result-identical. With Options.Shards > 1 every in-flight
+	// simulation is a team of goroutines, so the cell fan-out narrows by the
+	// team size — o.Workers keeps bounding total goroutines either way.
+	cellWorkers := BudgetWorkers(o.Workers,
+		RunCost(cluster.Config{Nodes: ClusterNodes, Shards: o.Shards}))
+	cellCurves, err := runPoints(len(cells), cellWorkers, func(i int) (cluster.Curve, error) {
 		c := cells[i]
 		pol, err := cluster.PolicyByName(c.policy)
 		if err != nil {

@@ -1,0 +1,155 @@
+// Package pdes coordinates a conservative parallel discrete-event
+// simulation: several sim.Engine instances ("shards"), each owned by one
+// goroutine, advancing in lockstep rounds of a fixed lookahead window.
+//
+// The protocol is the classic conservative time-window scheme. Every
+// cross-shard interaction must take at least `window` of virtual time to
+// propagate (the lookahead — in the cluster simulation, the balancer↔node
+// network hop). Under that invariant a message generated during round k
+// (virtual time in (kW−W, kW]) cannot arrive before round k+1's window
+// opens, so every shard can execute round k concurrently with all the
+// others, knowing its inputs for the round are already in its event queue.
+// Between rounds the coordinator runs a single-threaded exchange that moves
+// the round's cross-shard messages into the destination engines in a
+// deterministic, partition-independent order (Gather's (At, Seq) merge
+// rule), which is what makes a sharded run reproduce bit-for-bit at any
+// shard count.
+//
+// Epoch rounds were chosen over a barrier-free atomic-horizon protocol
+// after profiling: a 100-node cluster run spans only ~32 hop-wide rounds
+// with ~10 ms of simulation work per round, so round-granularity
+// synchronization costs well under 0.1% of the run — the simpler protocol
+// wins. The dependency graph is also bipartite (balancer ↔ node shards),
+// so per-pair horizon tracking would degenerate into the same global
+// cadence anyway.
+package pdes
+
+import (
+	"fmt"
+	"sort"
+
+	"rpcvalet/internal/sim"
+)
+
+// RoundFunc advances one shard through the round ending at deadline,
+// typically via its engine's RunUntil(deadline). It runs on the shard's own
+// goroutine and must touch only shard-local state plus mailboxes owned by
+// this shard.
+type RoundFunc func(deadline sim.Time)
+
+// ExchangeFunc runs between rounds with every shard parked at the round
+// deadline. It executes single-threaded on the coordinating goroutine — the
+// only place cross-shard state may be moved — and returns false to end the
+// simulation after this round.
+type ExchangeFunc func(deadline sim.Time) bool
+
+// Run drives the shards in bulk-synchronous rounds of the given window: all
+// shards execute round k concurrently, then exchange runs alone, then round
+// k+1 begins. It returns when exchange returns false. The window must be
+// positive — it is the conservative lookahead bound, and a simulation whose
+// cross-shard latency can be zero cannot be sharded this way.
+//
+// A panic inside any shard is re-raised on the calling goroutine once the
+// round's other shards have parked, so a simulation bug fails the run
+// instead of deadlocking it.
+func Run(window sim.Duration, shards []RoundFunc, exchange ExchangeFunc) {
+	if window <= 0 {
+		panic(fmt.Sprintf("pdes: non-positive lookahead window %v", window))
+	}
+	if len(shards) == 0 {
+		return
+	}
+	work := make([]chan sim.Time, len(shards))
+	done := make(chan any, len(shards)) // recovered panic value, nil = clean
+	for i := range shards {
+		work[i] = make(chan sim.Time)
+		go func(run RoundFunc, work <-chan sim.Time) {
+			for deadline := range work {
+				done <- runRound(run, deadline)
+			}
+		}(shards[i], work[i])
+	}
+	defer func() {
+		for _, w := range work {
+			close(w)
+		}
+	}()
+	for k := int64(1); ; k++ {
+		deadline := sim.Time(k * int64(window))
+		for _, w := range work {
+			w <- deadline
+		}
+		var panicked any
+		for range shards {
+			if p := <-done; p != nil {
+				panicked = p
+			}
+		}
+		if panicked != nil {
+			panic(fmt.Sprintf("pdes: shard panicked during round ending %v: %v", deadline, panicked))
+		}
+		if !exchange(deadline) {
+			return
+		}
+	}
+}
+
+// runRound executes one shard round, converting a panic into a value so the
+// coordinator can drain the remaining shards before re-raising.
+func runRound(run RoundFunc, deadline sim.Time) (panicked any) {
+	defer func() { panicked = recover() }()
+	run(deadline)
+	return nil
+}
+
+// Msg is one timestamped cross-shard message.
+type Msg[T any] struct {
+	// At is the virtual time the message takes effect at the destination
+	// shard. The sending shard must guarantee At > the current round's
+	// deadline (the lookahead invariant).
+	At sim.Time
+	// Seq is a simulation-global sequence number breaking ties among
+	// messages with equal At. It must be partition-independent (e.g. a
+	// request's cluster-wide sequence number), never a per-shard counter —
+	// it is the deterministic cross-shard merge rule.
+	Seq     uint64
+	Payload T
+}
+
+// Mailbox accumulates messages from exactly one sending shard during a
+// round. It is not synchronized: one goroutine appends during the round,
+// and the coordinator drains it in the exchange — the round barrier is the
+// synchronization.
+type Mailbox[T any] struct {
+	msgs []Msg[T]
+}
+
+// Send appends one message.
+func (b *Mailbox[T]) Send(at sim.Time, seq uint64, payload T) {
+	b.msgs = append(b.msgs, Msg[T]{At: at, Seq: seq, Payload: payload})
+}
+
+// Len reports the number of buffered messages.
+func (b *Mailbox[T]) Len() int { return len(b.msgs) }
+
+// Gather drains every mailbox into dst (reused; pass the previous round's
+// slice to avoid allocation) and returns the union sorted by (At, Seq) —
+// the deterministic merge order cross-shard delivery must use. Message
+// order within one mailbox is already nondecreasing in At (engines execute
+// in time order), but the merged order across senders is what keeps the
+// destination's event sequence independent of how the simulation was
+// partitioned.
+func Gather[T any](dst []Msg[T], boxes ...*Mailbox[T]) []Msg[T] {
+	dst = dst[:0]
+	for _, b := range boxes {
+		dst = append(dst, b.msgs...)
+		b.msgs = b.msgs[:0]
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].At != dst[j].At {
+			return dst[i].At < dst[j].At
+		}
+		return dst[i].Seq < dst[j].Seq
+	})
+	return dst
+}

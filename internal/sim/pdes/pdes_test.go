@@ -1,0 +1,140 @@
+package pdes
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rpcvalet/internal/sim"
+)
+
+// TestGatherMergeOrder: the union of several mailboxes comes out sorted by
+// (At, Seq) regardless of which sender buffered what, and the boxes drain.
+func TestGatherMergeOrder(t *testing.T) {
+	var a, b, c Mailbox[string]
+	a.Send(30, 5, "a30/5")
+	a.Send(30, 9, "a30/9")
+	b.Send(10, 7, "b10/7")
+	b.Send(30, 2, "b30/2")
+	c.Send(20, 1, "c20/1")
+
+	got := Gather(nil, &a, &b, &c)
+	want := []string{"b10/7", "c20/1", "b30/2", "a30/5", "a30/9"}
+	var names []string
+	for _, m := range got {
+		names = append(names, m.Payload)
+	}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("merge order %v, want %v", names, want)
+	}
+	if a.Len()+b.Len()+c.Len() != 0 {
+		t.Fatal("Gather left messages behind")
+	}
+	// Reuse: the returned slice is the scratch buffer for the next round.
+	a.Send(1, 1, "x")
+	if again := Gather(got, &a); len(again) != 1 || again[0].Payload != "x" {
+		t.Fatalf("reused gather = %v", again)
+	}
+}
+
+// TestRunPingPong drives two shards that volley a counter through mailboxes
+// with one-window lookahead and checks the exchange sees the deadlines in
+// order, every delivery lands strictly inside the next round, and the full
+// event sequence is identical run to run.
+func TestRunPingPong(t *testing.T) {
+	const window = sim.Duration(100)
+	run := func() []string {
+		var log []string
+		engines := [2]*sim.Engine{sim.New(), sim.New()}
+		var boxes [2]Mailbox[int] // boxes[i]: messages sent by shard i
+		var bounce [2]func(v int)
+		for i := range bounce {
+			i := i
+			bounce[i] = func(v int) {
+				log = append(log, fmt.Sprintf("shard%d v%d @%d", i, v, engines[i].Now()))
+				// Send onward with exactly one window of lookahead.
+				boxes[i].Send(engines[i].Now().Add(window), uint64(v+1), v+1)
+			}
+		}
+		// Seed: shard 0 handles v=0 at t=30.
+		engines[0].ScheduleAt(30, func() { bounce[0](0) })
+		rounds := 0
+		pdesRun := func() {
+			Run(window,
+				[]RoundFunc{
+					func(d sim.Time) { engines[0].RunUntil(d) },
+					func(d sim.Time) { engines[1].RunUntil(d) },
+				},
+				func(d sim.Time) bool {
+					rounds++
+					if engines[0].Now() != d || engines[1].Now() != d {
+						t.Errorf("round %d: clocks %v/%v not parked at %v", rounds, engines[0].Now(), engines[1].Now(), d)
+					}
+					for _, m := range Gather(nil, &boxes[0], &boxes[1]) {
+						if m.At <= d {
+							t.Errorf("delivery at %v violates lookahead past %v", m.At, d)
+						}
+						dst := m.Payload % 2 // odd values handled by shard 1
+						v := m.Payload
+						engines[dst].ScheduleAt(m.At, func() { bounce[dst](v) })
+					}
+					return rounds < 6
+				})
+		}
+		pdesRun()
+		return log
+	}
+	first := run()
+	if len(first) != 6 {
+		t.Fatalf("logged %d volleys over 6 rounds, want 6: %v", len(first), first)
+	}
+	want := []string{
+		"shard0 v0 @30", "shard1 v1 @130", "shard0 v2 @230",
+		"shard1 v3 @330", "shard0 v4 @430", "shard1 v5 @530",
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("volley log %v, want %v", first, want)
+	}
+	for i := 0; i < 3; i++ {
+		if again := run(); !reflect.DeepEqual(again, first) {
+			t.Fatalf("run %d diverged:\n%v\n%v", i, again, first)
+		}
+	}
+}
+
+// TestRunShardPanicPropagates: a panic on a shard goroutine resurfaces on
+// the coordinator with the shard's message, instead of deadlocking the
+// barrier.
+func TestRunShardPanicPropagates(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("shard panic did not propagate")
+		}
+		if s := fmt.Sprint(p); !strings.Contains(s, "boom") {
+			t.Fatalf("propagated panic %q lost the cause", s)
+		}
+	}()
+	healthy := 0
+	Run(10,
+		[]RoundFunc{
+			func(sim.Time) { healthy++ },
+			func(d sim.Time) {
+				if d >= 30 {
+					panic("boom")
+				}
+			},
+		},
+		func(sim.Time) bool { return true })
+}
+
+// TestRunRejectsZeroWindow: a non-positive lookahead has no safe rounds.
+func TestRunRejectsZeroWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero window accepted")
+		}
+	}()
+	Run(0, []RoundFunc{func(sim.Time) {}}, func(sim.Time) bool { return false })
+}

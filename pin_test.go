@@ -112,6 +112,24 @@ func TestPinnedClusterResult(t *testing.T) {
 	pin(t, "mean", res.Latency.Mean, "1345.7348943333366")
 	pin(t, "throughput", res.ThroughputMRPS, "27.184915274526762")
 	pin(t, "imbalance", res.Imbalance, "1.0018750000000001")
+
+	// Shards: 1 must take the historical single-clock path and keep
+	// reproducing the same pre-shard pins byte-for-byte — the sharded
+	// engine's compatibility contract.
+	cfg.Policy, err = rpcvalet.ClusterPolicyByName("jsq2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 1
+	res, err = rpcvalet.RunCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin(t, "shards=1 p50", res.Latency.P50, "1246.367")
+	pin(t, "shards=1 p99", res.Latency.P99, "2532.9679999999998")
+	pin(t, "shards=1 mean", res.Latency.Mean, "1345.7348943333366")
+	pin(t, "shards=1 throughput", res.ThroughputMRPS, "27.184915274526762")
+	pin(t, "shards=1 imbalance", res.Imbalance, "1.0018750000000001")
 }
 
 func TestPinnedQueueModelResult(t *testing.T) {

@@ -71,6 +71,20 @@
 // than the partitioned baseline, and that queue-aware cluster balancing
 // widens its advantage when a node degrades.
 //
+// # Sharded simulation
+//
+// Cluster runs can execute on parallel engine shards: Cluster.Shards > 1
+// partitions the node set into per-shard event wheels, each on its own
+// goroutine, plus a balancer shard, all advanced in conservative lockstep
+// rounds exactly one Hop wide — the network hop is the lookahead bound, so
+// no cross-shard event can take effect inside the round that emitted it.
+// Shards ≤ 1 (the zero value) runs the historical single-clock engine,
+// byte-identical to every pinned result; sharded runs are themselves
+// deterministic for a fixed (Seed, Shards) pair and partition-independent
+// across shard counts ≥ 2. Core Options.Shards and the CLIs' -shards flag
+// thread the knob through every cluster sweep, with worker budgeting that
+// keeps Workers the cap on total goroutines. See DESIGN.md §8.
+//
 // # Observability
 //
 // Every runtime can explain its tail request by request. Setting
@@ -343,7 +357,9 @@ func RateGrid(capacity, lo, hi float64, n int) []float64 {
 // Cluster describes a rack-scale simulation: N independent server models
 // sharing one virtual clock behind a front-end balancer that routes an
 // aggregate Poisson arrival stream node by node, charging each RPC a network
-// hop. See DefaultCluster for a ready-made starting point.
+// hop. Set Shards > 1 to run the node set on parallel per-shard engines
+// synchronized conservatively at the hop (see "Sharded simulation" above).
+// See DefaultCluster for a ready-made starting point.
 type Cluster = cluster.Config
 
 // ClusterResult is the measured outcome of one cluster run.
