@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-json live-smoke obs-smoke shard-smoke
+.PHONY: all build fmt vet lint test race bench bench-json bench-diff profile live-smoke obs-smoke shard-smoke
 
 # Pinned so CI and local runs agree on what "clean" means.
 STATICCHECK_VERSION = 2025.1.1
@@ -74,3 +74,35 @@ bench-json:
 	{ $(GO) test -run='^$$' -bench='^BenchmarkTraceOverhead$$' -benchmem ./internal/machine; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkLiveTraceOverhead$$' -benchtime=1x ./internal/live; } \
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
+	$(GO) test -run='^$$' -bench='$(HOTPATH_BENCHES)' -benchmem . \
+		| $(GO) run ./cmd/benchjson > BENCH_machine.json
+
+# The hot-path benchmark set: steady-state per-request cost (allocs/op reads
+# as allocations per simulated request) and simulator throughput (sim_mrps).
+HOTPATH_BENCHES = ^(BenchmarkMachineSteadyState|BenchmarkClusterSteadyState|BenchmarkMachineThroughput|BenchmarkSweepParallel)$$
+
+# bench-diff regenerates the hot-path benchmark set and compares it against
+# the committed BENCH_machine.json snapshot, flagging any directional metric
+# (ns/op, B/op, allocs/op, sim_mrps) that moved past the threshold. Override
+# OLD/NEW to diff arbitrary snapshots, THRESHOLD to tune sensitivity.
+BENCH_DIFF_OLD ?= BENCH_machine.json
+BENCH_DIFF_NEW ?= /tmp/BENCH_machine.new.json
+BENCH_DIFF_THRESHOLD ?= 20
+
+bench-diff:
+	$(GO) test -run='^$$' -bench='$(HOTPATH_BENCHES)' -benchmem . \
+		| $(GO) run ./cmd/benchjson > $(BENCH_DIFF_NEW)
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_DIFF_THRESHOLD) $(BENCH_DIFF_OLD) $(BENCH_DIFF_NEW)
+
+# profile captures CPU and heap profiles of the heaviest end-to-end figure
+# (figCluster) and prints the top flat-cost functions of each — the data
+# behind EXPERIMENTS.md's hot-path anatomy study.
+PROFILE_DIR ?= /tmp/rpcvalet-profile
+
+profile:
+	mkdir -p $(PROFILE_DIR)
+	$(GO) test -run='^$$' -bench='^BenchmarkFigCluster$$' -benchtime=1x \
+		-o $(PROFILE_DIR)/rpcvalet.test \
+		-cpuprofile $(PROFILE_DIR)/cpu.prof -memprofile $(PROFILE_DIR)/mem.prof .
+	$(GO) tool pprof -top -nodecount=10 $(PROFILE_DIR)/cpu.prof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects $(PROFILE_DIR)/mem.prof

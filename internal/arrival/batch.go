@@ -1,0 +1,46 @@
+package arrival
+
+import (
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+)
+
+// Batch pre-draws interarrival gaps from a Process in blocks, the simulators'
+// scratch-buffer amortization of the per-arrival interface call.
+//
+// Correctness contract (the same one rng's batches keep): the Process and
+// the Source are private to this batch, gaps are handed out in exactly the
+// order they were drawn, and a Process's state (MMPP2's phase, Modulated's
+// operational clock) evolves only inside Next — so the k-th gap a simulation
+// consumes is byte-identical with or without batching, and leftover buffered
+// gaps at run end are unobservable.
+type Batch struct {
+	p   Process
+	r   *rng.Source
+	buf []sim.Duration
+	pos int
+}
+
+// NewBatch wraps p's gap stream over r in blocks of size (0 = the rng
+// package's DefaultBatch). Both p and r must have no other consumer.
+func NewBatch(p Process, r *rng.Source, size int) *Batch {
+	if size <= 0 {
+		size = rng.DefaultBatch
+	}
+	b := &Batch{p: p, r: r, buf: make([]sim.Duration, size)}
+	b.pos = size
+	return b
+}
+
+// Next returns the next gap, refilling the scratch block when it runs dry.
+func (b *Batch) Next() sim.Duration {
+	if b.pos == len(b.buf) {
+		for i := range b.buf {
+			b.buf[i] = b.p.Next(b.r)
+		}
+		b.pos = 0
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}

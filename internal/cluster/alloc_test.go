@@ -1,0 +1,55 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// marginalAllocsPerRequest isolates the steady-state per-request allocation
+// cost from fixed setup by differencing two run lengths, exactly like the
+// machine-level test (see internal/machine/alloc_test.go for the method).
+func marginalAllocsPerRequest(t *testing.T, run func(measure int)) float64 {
+	t.Helper()
+	const base, big = 4000, 24000
+	baseAllocs := testing.AllocsPerRun(2, func() { run(base) })
+	bigAllocs := testing.AllocsPerRun(2, func() { run(big) })
+	return (bigAllocs - baseAllocs) / float64(big-base)
+}
+
+// TestClusterAllocsPerRequest pins the single-engine cluster path: pooled
+// cluster requests plus the pooled machine path underneath. The measured
+// marginal cost is ~0.32 allocations per request — five recorders' worth
+// (four nodes plus the balancer) of amortized epoch-timeline sample growth,
+// nothing O(1) per request — so the budget sits at 0.5: any real
+// per-request allocation reads ≥1.0.
+func TestClusterAllocsPerRequest(t *testing.T) {
+	per := marginalAllocsPerRequest(t, func(measure int) {
+		cfg := baseConfig(4, JSQ{D: 2}, 0.6)
+		cfg.Measure = measure
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 0.5 {
+		t.Errorf("cluster steady-state allocations per request = %.4f, budget 0.5", per)
+	}
+}
+
+// TestShardedAllocsPerRequest pins the sharded round loop. The parallel path
+// pays per-round costs the serial path does not (barrier wakeups, channel
+// operations in the goroutine runtime), and rounds scale with simulated time
+// — measured ~0.70 per request with two shards — so the budget is looser,
+// but still close enough to one that the pooled shardReq/doneEvt exchange
+// cannot silently start allocating per message.
+func TestShardedAllocsPerRequest(t *testing.T) {
+	per := marginalAllocsPerRequest(t, func(measure int) {
+		cfg := baseConfig(4, JSQ{D: 2}, 0.6)
+		cfg.Shards = 2
+		cfg.Measure = measure
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if per > 1.2 {
+		t.Errorf("sharded steady-state allocations per request = %.4f, budget 1.2", per)
+	}
+}

@@ -279,6 +279,15 @@ func (v *view) snapshot() {
 	}
 }
 
+// clusterReq is the balancer's pooled per-request tracker: it carries one
+// RPC's identity through the hop event and its completion callback, then
+// returns to the free-list (the completion callback is its last reader).
+type clusterReq struct {
+	id   uint64
+	node int
+	sent sim.Time
+}
+
 // nodeTracer adapts one node's machine-internal trace stream to the
 // cluster-wide view: machines number injected requests 0,1,2,... in inject
 // order, so the cluster appends each request's cluster-wide sequence number
@@ -385,7 +394,7 @@ func Run(cfg Config) (Result, error) {
 		target        = cfg.Warmup + cfg.Measure
 		timedOut      bool
 	)
-	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs})
+	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs, Expect: cfg.Measure})
 	if cfg.MaxSimTime > 0 {
 		eng.Schedule(cfg.MaxSimTime, func() {
 			timedOut = true
@@ -394,8 +403,46 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	var runErr error
-	arr := arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
+	gaps := arrival.NewBatch(arrival.Resolve(cfg.Arrival, cfg.RateMRPS), arrRNG, 0)
 	var seq uint64 // cluster-wide request sequence number
+
+	// The per-request state rides a pooled tracker through the hop event and
+	// the completion callback; the two callbacks below are bound once per
+	// run, so the steady-state balancer path allocates nothing per RPC.
+	var pool []*clusterReq
+	doneFn := func(arg any, _ int, measured bool) {
+		r := arg.(*clusterReq)
+		n := r.node
+		v.completed(n)
+		totalOut--
+		completed++
+		nodeCompleted[n]++
+		pool = append(pool, r)
+		if completed == cfg.Warmup+1 {
+			rec.OpenWindow(eng.Now())
+		}
+		rec.Complete(eng.Now(), metrics.Completion{
+			Class:     -1,
+			Measured:  measured,
+			LatencyNs: eng.Now().Sub(r.sent).Nanos(),
+			WaitNs:    -1,
+			ServiceNs: -1,
+			Depth:     totalOut,
+		})
+		if completed >= target {
+			rec.CloseWindow(eng.Now())
+			eng.Stop()
+		}
+	}
+	hopFn := func(arg any) {
+		r := arg.(*clusterReq)
+		if record != nil {
+			// The machine numbers this inject len(ids); remember its
+			// cluster-wide identity at that index.
+			tracers[r.node].ids = append(tracers[r.node].ids, r.id)
+		}
+		nodes[r.node].InjectArg(doneFn, r)
+	}
 	var arrive func()
 	arrive = func() {
 		id := seq
@@ -417,38 +464,18 @@ func Run(cfg Config) (Result, error) {
 		}
 		v.dispatched(n)
 		totalOut++
-		sent := eng.Now()
-		eng.Schedule(cfg.Hop, func() {
-			if record != nil {
-				// The machine numbers this inject len(ids); remember its
-				// cluster-wide identity at that index.
-				tracers[n].ids = append(tracers[n].ids, id)
-			}
-			nodes[n].Inject(func(_ int, measured bool) {
-				v.completed(n)
-				totalOut--
-				completed++
-				nodeCompleted[n]++
-				if completed == cfg.Warmup+1 {
-					rec.OpenWindow(eng.Now())
-				}
-				rec.Complete(eng.Now(), metrics.Completion{
-					Class:     -1,
-					Measured:  measured,
-					LatencyNs: eng.Now().Sub(sent).Nanos(),
-					WaitNs:    -1,
-					ServiceNs: -1,
-					Depth:     totalOut,
-				})
-				if completed >= target {
-					rec.CloseWindow(eng.Now())
-					eng.Stop()
-				}
-			})
-		})
-		eng.Schedule(arr.Next(arrRNG), arrive)
+		var r *clusterReq
+		if np := len(pool); np > 0 {
+			r = pool[np-1]
+			pool = pool[:np-1]
+		} else {
+			r = &clusterReq{}
+		}
+		r.id, r.node, r.sent = id, n, eng.Now()
+		eng.ScheduleArg(cfg.Hop, hopFn, r)
+		eng.Schedule(gaps.Next(), arrive)
 	}
-	eng.Schedule(arr.Next(arrRNG), arrive)
+	eng.Schedule(gaps.Next(), arrive)
 	eng.Run()
 	if runErr != nil {
 		return Result{}, runErr

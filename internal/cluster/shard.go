@@ -64,6 +64,27 @@ type nodeShard struct {
 	eng  *sim.Engine
 	buf  []trace.Event         // this round's trace events, flushed at exchange
 	done pdes.Mailbox[doneMsg] // this round's completions, drained at exchange
+	pool []*shardReq           // recycled per-request trackers for this shard
+}
+
+// shardReq is the pooled per-request tracker on the sharded path: it carries
+// one routed RPC from the exchange's inject delivery through the node's
+// completion callback, then returns to its shard's free-list. Pools are
+// per-shard: a tracker is popped during the single-threaded exchange and
+// pushed back on the owning shard's goroutine, phases the PDES barrier
+// already orders.
+type shardReq struct {
+	id   uint64
+	node int
+	sent sim.Time
+	sh   *nodeShard
+}
+
+// doneEvt is the balancer-side pooled tracker for one completion
+// notification in flight between exchange and its delivery time.
+type doneEvt struct {
+	at sim.Time
+	d  doneMsg
 }
 
 func runSharded(cfg Config) (Result, error) {
@@ -153,7 +174,7 @@ func runSharded(cfg Config) (Result, error) {
 		halt          bool
 		runErr        error
 	)
-	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs})
+	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs, Expect: cfg.Measure})
 	stop := func() {
 		halt = true
 		beng.Stop()
@@ -165,7 +186,7 @@ func runSharded(cfg Config) (Result, error) {
 		})
 	}
 
-	arr := arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
+	gaps := arrival.NewBatch(arrival.Resolve(cfg.Arrival, cfg.RateMRPS), arrRNG, 0)
 	var seq uint64 // cluster-wide request sequence number
 	var arrive func()
 	arrive = func() {
@@ -187,9 +208,9 @@ func runSharded(cfg Config) (Result, error) {
 		totalOut++
 		sent := beng.Now()
 		inject[shardOf[n]].Send(sent.Add(cfg.Hop), id, injectMsg{id: id, node: n, sent: sent})
-		beng.Schedule(arr.Next(arrRNG), arrive)
+		beng.Schedule(gaps.Next(), arrive)
 	}
-	beng.Schedule(arr.Next(arrRNG), arrive)
+	beng.Schedule(gaps.Next(), arrive)
 
 	// deliver applies one completion notification on the balancer at
 	// notification time `at`; the handler actually finished one Hop earlier,
@@ -223,9 +244,38 @@ func runSharded(cfg Config) (Result, error) {
 		doneScratch []pdes.Msg[doneMsg]
 		doneBoxes   = make([]*pdes.Mailbox[doneMsg], nshards)
 		evScratch   []trace.Event
+		donePool    []*doneEvt
 	)
 	for s, sh := range shards {
 		doneBoxes[s] = &sh.done
+	}
+
+	// Per-request callbacks, bound once so the exchange's steady state
+	// allocates no closures: injectFn fires on the owning shard's engine at
+	// the message's arrival time; nodeDoneFn fires at handler completion and
+	// recycles the tracker; deliverFn applies a completion notification on
+	// the balancer engine.
+	var nodeDoneFn func(arg any, class int, measured bool)
+	nodeDoneFn = func(arg any, _ int, measured bool) {
+		r := arg.(*shardReq)
+		sh := r.sh
+		sh.done.Send(sh.eng.Now().Add(cfg.Hop), r.id,
+			doneMsg{node: r.node, sent: r.sent, measured: measured})
+		sh.pool = append(sh.pool, r)
+	}
+	injectFn := func(arg any) {
+		r := arg.(*shardReq)
+		if tracing {
+			// The machine numbers this inject len(ids); remember its
+			// cluster-wide identity at that index.
+			tracers[r.node].ids = append(tracers[r.node].ids, r.id)
+		}
+		nodes[r.node].InjectArg(nodeDoneFn, r)
+	}
+	deliverFn := func(arg any) {
+		e := arg.(*doneEvt)
+		deliver(e.at, e.d)
+		donePool = append(donePool, e)
 	}
 
 	// exchange runs single-threaded between rounds: deliver the round's
@@ -235,24 +285,28 @@ func runSharded(cfg Config) (Result, error) {
 		for s, sh := range shards {
 			injScratch = pdes.Gather(injScratch, inject[s])
 			for _, m := range injScratch {
-				msg := m.Payload
-				sh.eng.ScheduleAt(m.At, func() {
-					if tracing {
-						// The machine numbers this inject len(ids); remember
-						// its cluster-wide identity at that index.
-						tracers[msg.node].ids = append(tracers[msg.node].ids, msg.id)
-					}
-					nodes[msg.node].Inject(func(_ int, measured bool) {
-						sh.done.Send(sh.eng.Now().Add(cfg.Hop), msg.id,
-							doneMsg{node: msg.node, sent: msg.sent, measured: measured})
-					})
-				})
+				var r *shardReq
+				if np := len(sh.pool); np > 0 {
+					r = sh.pool[np-1]
+					sh.pool = sh.pool[:np-1]
+				} else {
+					r = &shardReq{sh: sh}
+				}
+				r.id, r.node, r.sent = m.Payload.id, m.Payload.node, m.Payload.sent
+				sh.eng.ScheduleArgAt(m.At, injectFn, r)
 			}
 		}
 		doneScratch = pdes.Gather(doneScratch, doneBoxes...)
 		for _, m := range doneScratch {
-			at, d := m.At, m.Payload
-			beng.ScheduleAt(at, func() { deliver(at, d) })
+			var e *doneEvt
+			if np := len(donePool); np > 0 {
+				e = donePool[np-1]
+				donePool = donePool[:np-1]
+			} else {
+				e = &doneEvt{}
+			}
+			e.at, e.d = m.At, m.Payload
+			beng.ScheduleArgAt(m.At, deliverFn, e)
 		}
 		if tracing {
 			evScratch = append(evScratch[:0], bbuf...)

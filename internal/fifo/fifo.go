@@ -34,6 +34,19 @@ type Queue[T any] struct {
 // Push appends v to the tail.
 func (q *Queue[T]) Push(v T) { q.buf = append(q.buf, v) }
 
+// Grow pre-sizes the backing slice to hold at least n elements, so a queue
+// whose steady-state occupancy (live elements plus the compaction
+// threshold's consumed prefix) is known up front never reallocates on the
+// hot path. It never shrinks and never moves queued elements.
+func (q *Queue[T]) Grow(n int) {
+	if n <= cap(q.buf) {
+		return
+	}
+	buf := make([]T, len(q.buf), n)
+	copy(buf, q.buf)
+	q.buf = buf
+}
+
 // Pop removes and returns the head element, reporting false on an empty
 // queue.
 func (q *Queue[T]) Pop() (T, bool) {

@@ -15,7 +15,12 @@ import (
 	"rpcvalet/internal/workload"
 )
 
-// request tracks one RPC through the machine.
+// request tracks one RPC through the machine. Requests are pooled: complete
+// recycles them onto a free-list once the last trailing event (reply-credit
+// return, replenish) has fired, so steady state allocates no request objects.
+// The stage fields (backend, disp, core, svcStart, replySlot) carry the state
+// the hot path's arg-form events need, replacing per-event closures; every
+// stage field is written before the stage that reads it.
 type request struct {
 	id       uint64
 	src      sonuma.NodeID
@@ -26,8 +31,18 @@ type request struct {
 	arrive   sim.Time // message fully received at the NI (measurement start)
 	// onDone, when non-nil, fires at completion time. Externally injected
 	// requests (multi-node simulations) carry their measurement callback
-	// here instead of using the machine's internal counters.
-	onDone func(class int, measured bool)
+	// here instead of using the machine's internal counters. onDoneFn is the
+	// allocation-free form: onDoneFn(onDoneArg, class, measured).
+	onDone    func(class int, measured bool)
+	onDoneFn  func(arg any, class int, measured bool)
+	onDoneArg any
+
+	backend   int      // NI backend ingesting this request
+	disp      int      // dispatcher routing the completion token
+	core      *core    // serving core, set at dispatch/begin
+	svcStart  sim.Time // handler start (after poll detection and stalls)
+	replySlot int      // send-buffer slot the reply occupies
+	refs      int      // trailing events still holding this request
 }
 
 // core is one serving core's state. Busy-time accounting lives in the
@@ -39,13 +54,6 @@ type core struct {
 	// cq is the private completion queue: dispatched messages awaiting
 	// processing.
 	cq fifo.Queue[*request]
-}
-
-// replyWaiter is a core stalled mid-completion on reply-send flow control.
-type replyWaiter struct {
-	c        *core
-	req      *request
-	svcStart sim.Time
 }
 
 // Machine is one instantiated simulation of the server. Create it with new
@@ -69,7 +77,15 @@ type Machine struct {
 
 	recvBuf  *sonuma.ReceiveBuffer
 	replyBuf *sonuma.SendBuffer
-	inflight map[uint64]*request
+
+	// Inflight tracking: a dense table keyed by receive-buffer slot (unique
+	// per admitted request — §4.2's N×S flow control guarantees a slot is
+	// never reused before its replenish) plus a plain counter covering both
+	// admitted and flow-control-parked requests, preserving the depth
+	// semantics of the hashmap this replaces.
+	reqBySlot     []*request
+	inflightCount int
+	pool          []*request // recycled request objects
 
 	freeSlots    []fifo.Queue[int]      // per source node: free per-pair slots, FIFO ring order
 	pendingBySrc []fifo.Queue[*request] // arrivals blocked on slot flow control
@@ -80,10 +96,38 @@ type Machine struct {
 	idleCores  fifo.Queue[int]
 	lock       *sim.Server
 
-	replyWaiters []fifo.Queue[replyWaiter] // indexed by requester node
+	replyWaiters []fifo.Queue[*request] // indexed by requester node
 
 	arr    arrival.Process
 	nextID uint64
+
+	// Batched RNG draws (see internal/rng batch contract: each stream is
+	// private to its consumer and values are handed out in draw order, so
+	// batching is byte-identical to per-call draws).
+	arrBatch   *arrival.Batch
+	srcBatch   *rng.IntBatch
+	classBatch *rng.FloatBatch
+	rssBatch   *rng.IntBatch
+	classTotal float64
+	reqPkts    int // packets per request message (fixed per workload)
+	replyPkts  int // packets per reply message
+
+	// Hot-path event callbacks, bound once at build so steady-state
+	// scheduling allocates no closures (sim.Engine.ScheduleArg).
+	fnSelfArrival func(any)
+	fnIngested    func(any)
+	fnArrived     func(any)
+	fnRouteWire   func(any)
+	fnRouteSubmit func(any)
+	fnDelivered   func(any)
+	fnFinish      func(any)
+	fnReplySent   func(any)
+	fnReplyCredit func(any)
+	fnReplenish   func(any)
+	fnNotifyWire  func(any)
+	fnNotifyDone  func(any)
+	fnSWEnqueue   func(any)
+	fnLockDone    func(any)
 
 	// Tracing: tail retains the K slowest spans (always unsampled);
 	// sampleN gates cfg.Trace to one request in N. Both nil/1 by default —
@@ -217,21 +261,21 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 	}
 	root := rng.New(cfg.Seed)
 	m := &Machine{
-		p:        p,
-		plan:     plan,
-		wl:       cfg.Workload,
-		cfg:      cfg,
-		eng:      eng,
-		external: external,
-		arrRNG:   root.Split(),
-		srcRNG:   root.Split(),
-		classRNG: root.Split(),
-		svcRNG:   root.Split(),
-		rssRNG:   root.Split(),
-		inflight: make(map[uint64]*request),
-		target:   cfg.Warmup + cfg.Measure,
-		slow:     1,
-		sampleN:  1,
+		p:         p,
+		plan:      plan,
+		wl:        cfg.Workload,
+		cfg:       cfg,
+		eng:       eng,
+		external:  external,
+		arrRNG:    root.Split(),
+		srcRNG:    root.Split(),
+		classRNG:  root.Split(),
+		svcRNG:    root.Split(),
+		rssRNG:    root.Split(),
+		reqBySlot: make([]*request, p.Domain.TotalSlots()),
+		target:    cfg.Warmup + cfg.Measure,
+		slow:      1,
+		sampleN:   1,
 	}
 	if cfg.TraceSample > 1 {
 		m.sampleN = uint64(cfg.TraceSample)
@@ -246,18 +290,45 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 	for i, cl := range cfg.Workload.Classes {
 		classes[i] = cl.Name
 	}
+	expect := 0
+	if !external {
+		expect = cfg.Measure
+	}
 	m.rec = metrics.NewRecorder(metrics.Config{
 		Classes:    classes,
 		Servers:    p.Cores,
 		EpochNanos: cfg.Epoch.Nanos(),
 		MaxEpochs:  cfg.MaxEpochs,
+		Expect:     expect,
 	})
 	m.arr = arrival.Resolve(cfg.Arrival, cfg.RateMRPS)
 
-	m.swQueue.CompactAfter = 1024
-	for i := 0; i < p.Cores; i++ {
-		m.cores = append(m.cores, &core{id: i, tile: p.Mesh.TileCoord(i)})
+	// Batched draws and precomputed per-message constants for the hot path.
+	m.srcBatch = rng.NewIntBatch(m.srcRNG, p.Domain.Nodes, 0)
+	m.classBatch = rng.NewFloatBatch(m.classRNG, 0)
+	m.classTotal = cfg.Workload.TotalWeight()
+	m.reqPkts = p.Domain.Packets(cfg.Workload.RequestBytes)
+	m.replyPkts = p.Domain.Packets(cfg.Workload.ReplyBytes)
+	if !plan.software && plan.route == RouteRSS && !p.RSSByFlow {
+		m.rssBatch = rng.NewIntBatch(m.rssRNG, plan.groups, 0)
 	}
+
+	m.bindCallbacks()
+
+	// Pre-size the steady-state queues so warmup is the only growth phase:
+	// occupancy bound plus the compaction threshold's consumed prefix.
+	const margin = fifo.DefaultCompactAfter + 2
+	m.swQueue.CompactAfter = 1024
+	cqDepth := m.plan.threshold
+	if cqDepth > p.Domain.TotalSlots() {
+		cqDepth = p.Domain.TotalSlots()
+	}
+	for i := 0; i < p.Cores; i++ {
+		c := &core{id: i, tile: p.Mesh.TileCoord(i)}
+		c.cq.Grow(cqDepth + margin)
+		m.cores = append(m.cores, c)
+	}
+	m.idleCores.Grow(p.Cores + margin)
 	// Backends sit on the left mesh edge, one per group of rows.
 	for b := 0; b < p.Backends; b++ {
 		m.backends = append(m.backends, sim.NewServer(m.eng))
@@ -273,8 +344,9 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 	}
 	m.freeSlots = make([]fifo.Queue[int], p.Domain.Nodes)
 	m.pendingBySrc = make([]fifo.Queue[*request], p.Domain.Nodes)
-	m.replyWaiters = make([]fifo.Queue[replyWaiter], p.Domain.Nodes)
+	m.replyWaiters = make([]fifo.Queue[*request], p.Domain.Nodes)
 	for n := range m.freeSlots {
+		m.freeSlots[n].Grow(p.Domain.Slots + margin)
 		for s := 0; s < p.Domain.Slots; s++ {
 			m.freeSlots[n].Push(s)
 		}
@@ -291,6 +363,52 @@ func build(cfg Config, eng *sim.Engine, external bool) (*Machine, error) {
 		}
 	}
 	return m, nil
+}
+
+// bindCallbacks binds the hot path's event callbacks once, so every
+// steady-state Schedule/Submit uses the arg-carrying form and allocates
+// neither a closure nor an interface box (the args are pointers).
+func (m *Machine) bindCallbacks() {
+	m.fnSelfArrival = m.selfArrival
+	m.fnIngested = m.ingested
+	m.fnArrived = m.arrived
+	m.fnRouteWire = m.routeWire
+	m.fnRouteSubmit = m.routeSubmit
+	m.fnDelivered = m.delivered
+	m.fnFinish = m.finishReq
+	m.fnReplySent = m.replySent
+	m.fnReplyCredit = m.replyCredit
+	m.fnReplenish = m.replenish
+	m.fnNotifyWire = m.notifyWire
+	m.fnNotifyDone = m.notifyDone
+	m.fnSWEnqueue = m.swEnqueueArg
+	m.fnLockDone = m.lockDone
+}
+
+// getRequest pops a recycled request from the pool, or allocates one while
+// the pool is still warming up. The caller overwrites every live field.
+func (m *Machine) getRequest() *request {
+	if n := len(m.pool); n > 0 {
+		req := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		return req
+	}
+	return &request{}
+}
+
+// decRef drops one trailing-event reference; at zero the request returns to
+// the pool. Pointer-shaped fields are cleared so a pooled request never pins
+// its old callback or core.
+func (m *Machine) decRef(req *request) {
+	req.refs--
+	if req.refs > 0 {
+		return
+	}
+	req.onDone = nil
+	req.onDoneFn = nil
+	req.onDoneArg = nil
+	req.core = nil
+	m.pool = append(m.pool, req)
 }
 
 // policySeed derives the deterministic stream seed for a dispatcher's policy
@@ -391,24 +509,21 @@ func (m *Machine) Run() (Result, error) {
 			m.eng.Stop()
 		})
 	}
+	m.arrBatch = arrival.NewBatch(m.arr, m.arrRNG, 0)
 	m.scheduleArrival()
 	m.eng.Run()
 	return m.result(), nil
 }
 
 func (m *Machine) scheduleArrival() {
-	gap := m.arr.Next(m.arrRNG)
-	m.eng.Schedule(gap, func() {
-		m.injectArrival()
-		m.scheduleArrival()
-	})
+	m.eng.ScheduleArg(m.arrBatch.Next(), m.fnSelfArrival, nil)
 }
 
-// injectArrival creates a new RPC from a random cluster node and admits it,
-// or parks it when the sender has no free message slot (end-to-end flow
-// control back-pressuring the traffic generator).
-func (m *Machine) injectArrival() {
-	m.inject(nil)
+// selfArrival is the open-loop generator's event: inject one RPC, schedule
+// the next gap.
+func (m *Machine) selfArrival(any) {
+	m.inject(nil, nil, nil)
+	m.scheduleArrival()
 }
 
 // Inject admits one externally generated RPC as if it had just arrived from
@@ -417,19 +532,28 @@ func (m *Machine) injectArrival() {
 // the entry point multi-node simulations drive in place of the machine's
 // own Poisson process.
 func (m *Machine) Inject(onDone func(class int, measured bool)) {
-	m.inject(onDone)
+	m.inject(onDone, nil, nil)
 }
 
-func (m *Machine) inject(onDone func(class int, measured bool)) {
-	src := sonuma.NodeID(m.srcRNG.IntN(m.p.Domain.Nodes))
-	class := m.wl.PickClass(m.classRNG)
-	req := &request{
-		id:       m.nextID,
-		src:      src,
-		class:    class,
-		svcNanos: m.wl.Classes[class].Service.Sample(m.svcRNG),
-		onDone:   onDone,
-	}
+// InjectArg is Inject's allocation-free form: fn(arg, class, measured) fires
+// at completion. fn should be a long-lived function value bound once by the
+// owning simulation; arg carries the per-request state (a pointer boxes into
+// the interface without allocating).
+func (m *Machine) InjectArg(fn func(arg any, class int, measured bool), arg any) {
+	m.inject(nil, fn, arg)
+}
+
+func (m *Machine) inject(onDone func(class int, measured bool), onDoneFn func(arg any, class int, measured bool), onDoneArg any) {
+	src := sonuma.NodeID(m.srcBatch.Next())
+	class := m.wl.PickClassAt(m.classBatch.Next() * m.classTotal)
+	req := m.getRequest()
+	req.id = m.nextID
+	req.src = src
+	req.class = class
+	req.svcNanos = m.wl.Classes[class].Service.Sample(m.svcRNG)
+	req.onDone = onDone
+	req.onDoneFn = onDoneFn
+	req.onDoneArg = onDoneArg
 	if m.slow != 1 {
 		// Degraded-node injection: the handler runs slower, the sampled
 		// distribution's shape intact. Guarded so healthy machines keep
@@ -437,7 +561,7 @@ func (m *Machine) inject(onDone func(class int, measured bool)) {
 		req.svcNanos *= m.slow
 	}
 	m.nextID++
-	m.inflight[req.id] = req
+	m.inflightCount++
 	if m.freeSlots[src].Len() == 0 {
 		m.blockedArrivals++
 		m.pendingBySrc[src].Push(req)
@@ -449,7 +573,7 @@ func (m *Machine) inject(onDone func(class int, measured bool)) {
 // InFlight reports the number of RPCs admitted (or parked on flow control)
 // but not yet completed — the queue-depth signal a cluster-level balancer
 // samples when comparing nodes.
-func (m *Machine) InFlight() int { return len(m.inflight) }
+func (m *Machine) InFlight() int { return m.inflightCount }
 
 // DispatchLabel names the resolved dispatch plan driving this machine
 // ("rpcvalet-1x16", "jbsq2", "plan-2x8/random2", ...).
@@ -478,16 +602,21 @@ func (m *Machine) admit(req *request) {
 	}
 	req.pairSlot = slot
 	req.slot = m.p.Domain.RecvSlotIndex(req.src, req.pairSlot)
+	m.reqBySlot[req.slot] = req
 
 	b := req.slot % len(m.backends)
 	switch m.p.Domain.Classify(m.wl.RequestBytes) {
 	case sonuma.DeliveryInline:
-		m.ingest(req, b, m.wl.RequestBytes)
+		req.backend = b
+		m.backends[b].SubmitArg(sim.Duration(m.reqPkts)*m.p.PacketProc, m.fnIngested, req)
 	case sonuma.DeliveryRendezvous:
 		// Descriptor lands first — that is when the message is
 		// "received" and the latency clock starts. The NI then pulls
 		// the payload with a one-sided read costing a network round
-		// trip plus the payload's backend occupancy (§4.2).
+		// trip plus the payload's backend occupancy (§4.2). This path
+		// keeps its closures: large-payload workloads are not the
+		// allocation-sensitive steady state, and every event here fires
+		// before completion, so pooling stays safe.
 		m.backends[b].Submit(m.p.PacketProc, func() {
 			// The descriptor is a single-packet message occupying the
 			// receive slot; the pulled payload lands in an app buffer.
@@ -495,7 +624,7 @@ func (m *Machine) admit(req *request) {
 				panic(fmt.Sprintf("machine: rendezvous descriptor: done=%v err=%v", done, err))
 			}
 			req.arrive = m.eng.Now()
-			m.record(req.id, trace.PhaseArrive, -1, len(m.inflight)-1)
+			m.record(req.id, trace.PhaseArrive, -1, m.inflightCount-1)
 			m.eng.Schedule(m.p.NetRTT, func() {
 				pkts := m.p.Domain.RendezvousReadPackets(m.wl.RequestBytes)
 				m.backends[b].Submit(sim.Duration(pkts)*m.p.PacketProc, func() {
@@ -508,27 +637,30 @@ func (m *Machine) admit(req *request) {
 	}
 }
 
-// ingest charges the backend for writing the message's packets and, once the
-// last packet is in memory, marks the message received and routes its
+// ingested runs when the NI backend has written the request's packets: mark
+// the message received, then charge the memory write before routing the
 // completion token.
-func (m *Machine) ingest(req *request, b int, size int) {
-	pkts := m.p.Domain.Packets(size)
-	m.backends[b].Submit(sim.Duration(pkts)*m.p.PacketProc, func() {
-		for i := 0; i < pkts; i++ {
-			done, err := m.recvBuf.OnPacket(req.slot, req.src, size, pkts)
-			if err != nil {
-				panic(fmt.Sprintf("machine: receive protocol violation: %v", err))
-			}
-			if done != (i == pkts-1) {
-				panic("machine: receive counter out of sync")
-			}
+func (m *Machine) ingested(arg any) {
+	req := arg.(*request)
+	pkts := m.reqPkts
+	for i := 0; i < pkts; i++ {
+		done, err := m.recvBuf.OnPacket(req.slot, req.src, m.wl.RequestBytes, pkts)
+		if err != nil {
+			panic(fmt.Sprintf("machine: receive protocol violation: %v", err))
 		}
-		m.eng.Schedule(m.p.MemWrite, func() {
-			req.arrive = m.eng.Now()
-			m.record(req.id, trace.PhaseArrive, -1, len(m.inflight)-1)
-			m.routeCompletion(req, b)
-		})
-	})
+		if done != (i == pkts-1) {
+			panic("machine: receive counter out of sync")
+		}
+	}
+	m.eng.ScheduleArg(m.p.MemWrite, m.fnArrived, req)
+}
+
+// arrived stamps the measurement start and routes the completion token.
+func (m *Machine) arrived(arg any) {
+	req := arg.(*request)
+	req.arrive = m.eng.Now()
+	m.record(req.id, trace.PhaseArrive, -1, m.inflightCount-1)
+	m.routeCompletion(req, req.backend)
 }
 
 // routeCompletion forwards a message-completion token from backend b to the
@@ -537,19 +669,29 @@ func (m *Machine) routeCompletion(req *request, b int) {
 	if m.plan.software {
 		// The NI appends directly to the shared in-memory queue.
 		wire := m.p.CQEDeliver + m.p.Mem.LLC(2, m.p.Mesh.HopLatency())
-		m.eng.Schedule(wire, func() { m.swEnqueue(req) })
+		m.eng.ScheduleArg(wire, m.fnSWEnqueue, req)
 		return
 	}
 	di := m.dispatcherFor(req, b)
+	req.disp = di
 	wire := m.p.Mesh.Latency(m.backendTile[b], m.dispTile[di], ctrlBytes) + m.p.DispatchExtra
-	m.eng.Schedule(wire, func() {
-		m.dispServer[di].Submit(m.p.DispatchCycle, func() {
-			msg := ni.Msg{Slot: req.slot, Src: req.src, Size: m.wl.RequestBytes, Tag: req.id}
-			if d, ok := m.dispatchers[di].Enqueue(msg); ok {
-				m.deliver(di, d)
-			}
-		})
-	})
+	m.eng.ScheduleArg(wire, m.fnRouteWire, req)
+}
+
+// routeWire runs when the completion token reaches its dispatcher tile.
+func (m *Machine) routeWire(arg any) {
+	req := arg.(*request)
+	m.dispServer[req.disp].SubmitArg(m.p.DispatchCycle, m.fnRouteSubmit, req)
+}
+
+// routeSubmit runs when the dispatch stage has cycled the token: enqueue it
+// on the shared CQ and deliver any dispatch it triggers.
+func (m *Machine) routeSubmit(arg any) {
+	req := arg.(*request)
+	msg := ni.Msg{Slot: req.slot, Src: req.src, Size: m.wl.RequestBytes, Tag: req.id}
+	if d, ok := m.dispatchers[req.disp].Enqueue(msg); ok {
+		m.deliver(req.disp, d)
+	}
 }
 
 // dispatcherFor picks the dispatcher index for a completion token, per the
@@ -561,28 +703,36 @@ func (m *Machine) dispatcherFor(req *request, b int) int {
 		if m.p.RSSByFlow {
 			return ni.RSSQueue(uint64(req.src), m.plan.groups)
 		}
-		return m.rssRNG.IntN(m.plan.groups)
+		return m.rssBatch.Next()
 	}
 	return b * m.plan.groups / m.p.Backends
 }
 
-// deliver carries a dispatch decision to the chosen core's private CQ.
+// deliver carries a dispatch decision to the chosen core's private CQ. The
+// inflight request is found through the dense slot table: the message's
+// receive slot is unique among admitted requests, and the Tag cross-check
+// turns any slot-identity violation into a loud failure.
 func (m *Machine) deliver(di int, d ni.Dispatch) {
-	req := m.inflight[d.Msg.Tag]
-	if req == nil {
-		panic(fmt.Sprintf("machine: dispatch of unknown request %d", d.Msg.Tag))
+	req := m.reqBySlot[d.Msg.Slot]
+	if req == nil || req.id != d.Msg.Tag {
+		panic(fmt.Sprintf("machine: dispatch of unknown request %d (slot %d)", d.Msg.Tag, d.Msg.Slot))
 	}
 	c := m.cores[d.Core]
 	m.record(req.id, trace.PhaseDispatch, d.Core, -1)
+	req.core = c
 	wire := m.p.Mesh.Latency(m.dispTile[di], c.tile, ctrlBytes) + m.p.CQEDeliver
-	m.eng.Schedule(wire, func() {
-		c.cq.Push(req)
-		if !c.busy {
-			// The core was spinning on its CQ; it notices after a
-			// fraction of a poll iteration.
-			m.begin(c, m.p.PollDetect)
-		}
-	})
+	m.eng.ScheduleArg(wire, m.fnDelivered, req)
+}
+
+// delivered lands a dispatched message in its core's private CQ; an idle
+// core notices after a fraction of a poll iteration.
+func (m *Machine) delivered(arg any) {
+	req := arg.(*request)
+	c := req.core
+	c.cq.Push(req)
+	if !c.busy {
+		m.begin(c, m.p.PollDetect)
+	}
 }
 
 // begin starts processing the head of the core's private CQ. pollDelay is
@@ -598,35 +748,44 @@ func (m *Machine) begin(c *core, pollDelay sim.Duration) {
 	c.busy = true
 	now := m.eng.Now()
 	stall := pauseStall(m.cfg.Pauses, now)
-	svcStart := now.Add(pollDelay + stall)
+	req.core = c
+	req.svcStart = now.Add(pollDelay + stall)
 	m.record(req.id, trace.PhaseStart, c.id, -1)
 	occupied := pollDelay + stall + m.p.BufRead + sim.FromNanos(req.svcNanos) +
 		m.p.LoopOverhead + m.p.SendPost + m.p.ReplenishPost
 	m.rec.Busy(now, c.id, occupied)
-	m.eng.Schedule(occupied, func() { m.finish(c, req, svcStart) })
+	m.eng.ScheduleArg(occupied, m.fnFinish, req)
 }
+
+// finishReq unwraps the finish event's argument.
+func (m *Machine) finishReq(arg any) { m.finish(arg.(*request)) }
 
 // finish runs when the core has executed the handler and posted the reply
 // send and replenish. The reply consumes a send slot toward the requester;
 // if none is free the core stalls (flow control) until a credit returns.
-func (m *Machine) finish(c *core, req *request, svcStart sim.Time) {
+func (m *Machine) finish(req *request) {
 	slot, ok := m.replyBuf.Acquire(req.src, req.id, m.wl.ReplyBytes)
 	if !ok {
 		m.replyStalls++
-		m.replyWaiters[req.src].Push(replyWaiter{c, req, svcStart})
+		m.replyWaiters[req.src].Push(req)
 		return
 	}
-	m.complete(c, req, svcStart, slot)
+	m.complete(req, slot)
 }
 
 // complete finalizes a request: measurement, reply transmission, replenish
-// propagation, and moving the core onto its next unit of work.
-func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot int) {
+// propagation, and moving the core onto its next unit of work. The request
+// stays alive (refs) until its two trailing events — the reply-credit return
+// and the replenish — have both fired, then returns to the pool.
+func (m *Machine) complete(req *request, replySlot int) {
+	c := req.core
 	now := m.eng.Now()
 	m.record(req.id, trace.PhaseComplete, c.id, -1)
 
 	m.completed++
-	if req.onDone != nil {
+	if req.onDoneFn != nil {
+		req.onDoneFn(req.onDoneArg, req.class, m.wl.Classes[req.class].Measured)
+	} else if req.onDone != nil {
 		req.onDone(req.class, m.wl.Classes[req.class].Measured)
 	}
 	if !m.external && m.completed == m.cfg.Warmup+1 {
@@ -640,9 +799,9 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 		Class:     req.class,
 		Measured:  m.wl.Classes[req.class].Measured,
 		LatencyNs: now.Sub(req.arrive).Nanos(),
-		WaitNs:    svcStart.Sub(req.arrive).Nanos(),
-		ServiceNs: now.Sub(svcStart).Nanos(),
-		Depth:     len(m.inflight) - 1, // admitted-but-incomplete, this one excluded
+		WaitNs:    req.svcStart.Sub(req.arrive).Nanos(),
+		ServiceNs: now.Sub(req.svcStart).Nanos(),
+		Depth:     m.inflightCount - 1, // admitted-but-incomplete, this one excluded
 	})
 	if !m.external && m.completed >= m.target {
 		m.rec.CloseWindow(now)
@@ -652,49 +811,27 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 
 	// Reply transmission through this core's row backend; the remote node
 	// consumes it and returns the send-slot credit a round trip later.
-	src := req.src
+	req.replySlot = replySlot
+	req.refs = 2 // reply-credit chain + replenish
 	rb := c.id * len(m.backends) / len(m.cores)
-	rpkts := m.p.Domain.Packets(m.wl.ReplyBytes)
-	m.backends[rb].Submit(sim.Duration(rpkts)*m.p.PacketProc, func() {
-		m.eng.Schedule(m.p.NetRTT, func() {
-			if err := m.replyBuf.Release(src, replySlot); err != nil {
-				panic(fmt.Sprintf("machine: reply credit return: %v", err))
-			}
-			if w, ok := m.replyWaiters[src].Pop(); ok {
-				s, ok := m.replyBuf.Acquire(src, w.req.id, m.wl.ReplyBytes)
-				if !ok {
-					panic("machine: freed reply slot immediately unavailable")
-				}
-				m.complete(w.c, w.req, w.svcStart, s)
-			}
-		})
-	})
+	m.backends[rb].SubmitArg(sim.Duration(m.replyPkts)*m.p.PacketProc, m.fnReplySent, req)
 
 	// Replenish: free the receive slot now; the sender regains the credit
 	// after the replenish message crosses the network.
 	if err := m.recvBuf.Free(req.slot); err != nil {
 		panic(fmt.Sprintf("machine: replenish: %v", err))
 	}
-	delete(m.inflight, req.id)
-	pairSlot := req.pairSlot
-	m.eng.Schedule(m.p.NetRTT/2, func() {
-		m.freeSlots[src].Push(pairSlot)
-		if next, ok := m.pendingBySrc[src].Pop(); ok {
-			m.admit(next)
-		}
-	})
+	m.reqBySlot[req.slot] = nil
+	m.inflightCount--
+	m.eng.ScheduleArg(m.p.NetRTT/2, m.fnReplenish, req)
 
-	// Tell the dispatcher this core finished one request.
+	// Tell the dispatcher this core finished one request. The argument is
+	// the core, not the request: by the time these events fire the request
+	// may already be recycled.
 	if !m.plan.software {
 		di := m.coreDisp[c.id]
 		wire := m.p.WQERead + m.p.Mesh.Latency(c.tile, m.dispTile[di], ctrlBytes) + m.p.DispatchExtra
-		m.eng.Schedule(wire, func() {
-			m.dispServer[di].Submit(m.p.DispatchCycle, func() {
-				if d, ok := m.dispatchers[di].Complete(c.id); ok {
-					m.deliver(di, d)
-				}
-			})
-		})
+		m.eng.ScheduleArg(wire, m.fnNotifyWire, c)
 	}
 
 	// The core rolls onto queued work, or goes idle.
@@ -706,7 +843,62 @@ func (m *Machine) complete(c *core, req *request, svcStart sim.Time, replySlot i
 	}
 }
 
+// replySent runs when the reply's packets have left the backend: the remote
+// node consumes them and the send-slot credit returns a round trip later.
+func (m *Machine) replySent(arg any) {
+	m.eng.ScheduleArg(m.p.NetRTT, m.fnReplyCredit, arg)
+}
+
+// replyCredit returns the reply send-slot credit and unblocks a core stalled
+// on reply flow control toward the same requester, if one is parked.
+func (m *Machine) replyCredit(arg any) {
+	req := arg.(*request)
+	src := req.src
+	if err := m.replyBuf.Release(src, req.replySlot); err != nil {
+		panic(fmt.Sprintf("machine: reply credit return: %v", err))
+	}
+	m.decRef(req)
+	if w, ok := m.replyWaiters[src].Pop(); ok {
+		s, ok := m.replyBuf.Acquire(src, w.id, m.wl.ReplyBytes)
+		if !ok {
+			panic("machine: freed reply slot immediately unavailable")
+		}
+		m.complete(w, s)
+	}
+}
+
+// replenish returns the receive-slot credit to the sender and admits a
+// parked arrival, if one is waiting on the freed slot.
+func (m *Machine) replenish(arg any) {
+	req := arg.(*request)
+	src, pairSlot := req.src, req.pairSlot
+	m.decRef(req)
+	m.freeSlots[src].Push(pairSlot)
+	if next, ok := m.pendingBySrc[src].Pop(); ok {
+		m.admit(next)
+	}
+}
+
+// notifyWire runs when a core's replenish token reaches its dispatcher tile.
+func (m *Machine) notifyWire(arg any) {
+	c := arg.(*core)
+	m.dispServer[m.coreDisp[c.id]].SubmitArg(m.p.DispatchCycle, m.fnNotifyDone, c)
+}
+
+// notifyDone records the core's completion at its dispatcher and delivers
+// any follow-on dispatch.
+func (m *Machine) notifyDone(arg any) {
+	c := arg.(*core)
+	di := m.coreDisp[c.id]
+	if d, ok := m.dispatchers[di].Complete(c.id); ok {
+		m.deliver(di, d)
+	}
+}
+
 // --- Software single-queue (MCS) path -----------------------------------
+
+// swEnqueueArg unwraps the NI-append event's argument.
+func (m *Machine) swEnqueueArg(arg any) { m.swEnqueue(arg.(*request)) }
 
 // swEnqueue appends a message to the shared in-memory queue and pairs it
 // with an idle core if one is waiting.
@@ -742,10 +934,17 @@ func (m *Machine) swTryPair() {
 			cost += m.p.LockUncontended
 		}
 		m.record(req.id, trace.PhaseDispatch, coreID, -1)
-		m.lock.Submit(cost, func() {
-			c.cq.Push(req)
-			c.busy = false
-			m.begin(c, 0)
-		})
+		req.core = c
+		m.lock.SubmitArg(cost, m.fnLockDone, req)
 	}
+}
+
+// lockDone runs when a core's dequeue critical section completes: the
+// message lands in the core's private CQ and processing begins.
+func (m *Machine) lockDone(arg any) {
+	req := arg.(*request)
+	c := req.core
+	c.cq.Push(req)
+	c.busy = false
+	m.begin(c, 0)
 }

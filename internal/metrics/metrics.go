@@ -60,6 +60,10 @@ type Config struct {
 	// MaxEpochs bounds the number of epoch slices (0 = DefaultMaxEpochs;
 	// values below 2 are raised to 2 so doubling can make progress).
 	MaxEpochs int
+	// Expect pre-sizes the summary samples for a run expected to record
+	// about this many completions, so steady-state recording never grows a
+	// slice. Zero leaves the samples growing on demand.
+	Expect int
 }
 
 // Completion describes one finished request, pre-measured by the simulator.
@@ -124,12 +128,21 @@ func NewRecorder(cfg Config) *Recorder {
 	if cfg.MaxEpochs < 2 {
 		cfg.MaxEpochs = 2
 	}
-	return &Recorder{
+	r := &Recorder{
 		cfg:        cfg,
 		epochNanos: cfg.EpochNanos,
 		class:      make([]stats.Sample, len(cfg.Classes)),
 		busyTotal:  make([]sim.Duration, cfg.Servers),
 	}
+	if cfg.Expect > 0 {
+		r.latency.Grow(cfg.Expect)
+		r.wait.Grow(cfg.Expect)
+		r.svc.Grow(cfg.Expect)
+		for i := range r.class {
+			r.class[i].Grow(cfg.Expect)
+		}
+	}
+	return r
 }
 
 // OpenWindow starts the summary measurement window at time t (after warmup).

@@ -88,7 +88,10 @@ func (LeastOutstanding) String() string { return "least-outstanding" }
 // would park a latency-critical request behind it even while other cores are
 // fully idle. Preferring minimum occupancy sends requests to idle cores
 // first; the rotating tie-break spreads load evenly among equals.
-type LeastOutstandingRR struct{ next int }
+type LeastOutstandingRR struct {
+	next int
+	ties []int // scratch, reused across Picks to keep the hot path allocation-free
+}
 
 // Pick implements Policy.
 func (p *LeastOutstandingRR) Pick(_ Msg, available []int, outstanding []int) int {
@@ -98,12 +101,13 @@ func (p *LeastOutstandingRR) Pick(_ Msg, available []int, outstanding []int) int
 			min = o
 		}
 	}
-	var ties []int
+	ties := p.ties[:0]
 	for i, o := range outstanding {
 		if o == min {
 			ties = append(ties, available[i])
 		}
 	}
+	p.ties = ties
 	c := ties[p.next%len(ties)]
 	p.next++
 	return c
@@ -161,7 +165,7 @@ const Unlimited = int(^uint(0) >> 1)
 // Dispatcher is the centralized NI dispatch stage for a group of cores.
 type Dispatcher struct {
 	cores       []int // core IDs in this dispatcher's group
-	indexOf     map[int]int
+	indexOf     []int // dense core-ID → group-index table (-1 = not in group)
 	outstanding []int
 	threshold   int
 	policy      Policy
@@ -170,6 +174,11 @@ type Dispatcher struct {
 	maxDepth  int
 	enqueued  uint64
 	delivered uint64
+
+	// Scratch for tryDispatch's available-core scan, reused across calls so
+	// steady-state dispatch allocates nothing.
+	avail    []int
+	availOut []int
 }
 
 // NewDispatcher builds a dispatcher for the given cores. threshold is the
@@ -186,16 +195,30 @@ func NewDispatcher(cores []int, threshold int, policy Policy) (*Dispatcher, erro
 	if policy == nil {
 		policy = FirstAvailable{}
 	}
+	maxCore := 0
+	for _, c := range cores {
+		if c < 0 {
+			return nil, fmt.Errorf("ni: negative core ID %d in dispatcher group", c)
+		}
+		if c > maxCore {
+			maxCore = c
+		}
+	}
 	d := &Dispatcher{
 		cores:       append([]int(nil), cores...),
-		indexOf:     make(map[int]int, len(cores)),
+		indexOf:     make([]int, maxCore+1),
 		outstanding: make([]int, len(cores)),
 		threshold:   threshold,
 		policy:      policy,
 		queue:       fifo.Queue[Msg]{CompactAfter: 1024},
+		avail:       make([]int, 0, len(cores)),
+		availOut:    make([]int, 0, len(cores)),
+	}
+	for i := range d.indexOf {
+		d.indexOf[i] = -1
 	}
 	for i, c := range cores {
-		if _, dup := d.indexOf[c]; dup {
+		if d.indexOf[c] >= 0 {
 			return nil, fmt.Errorf("ni: duplicate core %d in dispatcher group", c)
 		}
 		d.indexOf[c] = i
@@ -213,11 +236,10 @@ func (d *Dispatcher) Outstanding(core int) int {
 }
 
 func (d *Dispatcher) mustIndex(core int) int {
-	i, ok := d.indexOf[core]
-	if !ok {
+	if core < 0 || core >= len(d.indexOf) || d.indexOf[core] < 0 {
 		panic(fmt.Sprintf("ni: core %d not in dispatcher group %v", core, d.cores))
 	}
-	return i
+	return d.indexOf[core]
 }
 
 // QueueDepth reports the current shared-CQ depth.
@@ -255,20 +277,24 @@ func (d *Dispatcher) tryDispatch() (Dispatch, bool) {
 	if d.QueueDepth() == 0 {
 		return Dispatch{}, false
 	}
-	var avail, availOut []int
+	avail, availOut := d.avail[:0], d.availOut[:0]
 	for i, c := range d.cores {
 		if d.outstanding[i] < d.threshold {
 			avail = append(avail, c)
 			availOut = append(availOut, d.outstanding[i])
 		}
 	}
+	d.avail, d.availOut = avail, availOut
 	if len(avail) == 0 {
 		return Dispatch{}, false
 	}
 	head, _ := d.queue.Peek()
 	core := d.policy.Pick(head, avail, availOut)
-	i, ok := d.indexOf[core]
-	if !ok || d.outstanding[i] >= d.threshold {
+	if core < 0 || core >= len(d.indexOf) || d.indexOf[core] < 0 {
+		panic(fmt.Sprintf("ni: policy %s picked unavailable core %d", d.policy, core))
+	}
+	i := d.indexOf[core]
+	if d.outstanding[i] >= d.threshold {
 		panic(fmt.Sprintf("ni: policy %s picked unavailable core %d", d.policy, core))
 	}
 	m, _ := d.queue.Pop()

@@ -1,0 +1,83 @@
+package rng
+
+// Batched draw buffers: the simulators' hot loops consume one value per
+// simulated request from several independent streams (source-node picks,
+// class picks, policy choices). Drawing them one call at a time keeps the
+// generator state hot but pays a call per value; a batch pre-draws a block
+// into a scratch buffer and hands values out from there.
+//
+// Correctness contract: a batch draws from exactly one Source that has no
+// other consumer, and hands values out in exactly the order they were
+// drawn. Pre-drawing therefore never reorders or perturbs the stream — the
+// k-th value a consumer sees is byte-identical to the k-th value the
+// unbatched code would have drawn. Values still buffered when a run ends
+// are discarded; since the stream is private, nothing else observes the
+// extra consumption.
+
+// DefaultBatch is the block size batches pre-draw when size is left 0:
+// large enough to amortize refill overhead, small enough that the scratch
+// stays cache-resident.
+const DefaultBatch = 64
+
+// IntBatch pre-draws uniform ints in [0, n) from a private Source.
+type IntBatch struct {
+	src *Source
+	n   int
+	buf []int
+	pos int
+}
+
+// NewIntBatch builds a batch of uniform [0, n) draws over src. size is the
+// block length (0 = DefaultBatch). src must have no other consumer.
+func NewIntBatch(src *Source, n, size int) *IntBatch {
+	if size <= 0 {
+		size = DefaultBatch
+	}
+	b := &IntBatch{src: src, n: n, buf: make([]int, size)}
+	b.pos = size // force a refill on first Next
+	return b
+}
+
+// Next returns the next draw, refilling the scratch block when it runs dry.
+func (b *IntBatch) Next() int {
+	if b.pos == len(b.buf) {
+		for i := range b.buf {
+			b.buf[i] = b.src.IntN(b.n)
+		}
+		b.pos = 0
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}
+
+// FloatBatch pre-draws uniform [0, 1) float64s from a private Source.
+type FloatBatch struct {
+	src *Source
+	buf []float64
+	pos int
+}
+
+// NewFloatBatch builds a batch of Float64 draws over src. size is the block
+// length (0 = DefaultBatch). src must have no other consumer.
+func NewFloatBatch(src *Source, size int) *FloatBatch {
+	if size <= 0 {
+		size = DefaultBatch
+	}
+	b := &FloatBatch{src: src, buf: make([]float64, size)}
+	b.pos = size
+	return b
+}
+
+// Next returns the next draw, refilling the scratch block when it runs dry.
+func (b *FloatBatch) Next() float64 {
+	if b.pos == len(b.buf) {
+		for i := range b.buf {
+			b.buf[i] = b.src.Float64()
+		}
+		b.pos = 0
+	}
+	v := b.buf[b.pos]
+	b.pos++
+	return v
+}

@@ -23,6 +23,25 @@ func NewServer(eng *Engine) *Server { return &Server{eng: eng} }
 // Submit enqueues a job with the given service duration. done, if non-nil,
 // runs at the job's completion time. Submit returns the completion time.
 func (s *Server) Submit(service Duration, done func()) Time {
+	end := s.occupy(service)
+	if done != nil {
+		s.eng.ScheduleAt(end, done)
+	}
+	return end
+}
+
+// SubmitArg is Submit with the allocation-free callback form: done(arg) runs
+// at completion. done should be a long-lived function value (see
+// Engine.ScheduleArg); arg carries the per-job state.
+func (s *Server) SubmitArg(service Duration, done func(any), arg any) Time {
+	end := s.occupy(service)
+	s.eng.ScheduleArgAt(end, done, arg)
+	return end
+}
+
+// occupy advances the server's busy horizon by one job of the given service
+// time and returns the job's completion time.
+func (s *Server) occupy(service Duration) Time {
 	if service < 0 {
 		service = 0
 	}
@@ -34,9 +53,6 @@ func (s *Server) Submit(service Duration, done func()) Time {
 	s.busyUntil = end
 	s.jobs++
 	s.busy += service
-	if done != nil {
-		s.eng.ScheduleAt(end, done)
-	}
 	return end
 }
 

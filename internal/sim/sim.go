@@ -8,13 +8,12 @@
 // (500 ps) exactly, and wide enough (int64) for about 100 days of simulated
 // time.
 //
-// The engine is intentionally minimal: a binary heap of timestamped events
+// The engine is intentionally minimal: a d-ary heap of timestamped events
 // with deterministic FIFO ordering for ties. Determinism is a design goal —
 // two runs with the same inputs execute events in exactly the same order.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"strconv"
 	"strings"
@@ -109,9 +108,16 @@ func (t Time) String() string { return fmt.Sprintf("%.3fns", t.Nanos()) }
 // passing it to Cancel later may target an unrelated, recycled event. Hold
 // Event pointers only for events you know are still pending.
 type Event struct {
-	at   Time
-	seq  uint64 // tie-break: FIFO among events with equal time
-	fn   func()
+	at  Time
+	seq uint64 // tie-break: FIFO among events with equal time
+	fn  func()
+	// Arg-carrying form (ScheduleArg): afn is a long-lived function value
+	// (typically a method value bound once at setup) and arg its payload for
+	// this firing. Splitting the callback this way keeps per-event closure
+	// allocation off the simulation hot path: boxing a pointer-shaped arg
+	// into the interface field allocates nothing.
+	afn  func(any)
+	arg  any
 	idx  int // heap index, -1 when not queued
 	dead bool
 }
@@ -119,34 +125,112 @@ type Event struct {
 // Time returns the virtual time at which the event will fire.
 func (e *Event) Time() Time { return e.at }
 
-// eventQueue implements heap.Interface ordered by (time, seq).
+// eventQueue is a 4-ary min-heap of events ordered by (time, seq). It is
+// hand-rolled rather than built on container/heap: the interface-dispatched
+// Less/Swap calls of the generic heap dominated simulation CPU profiles, and
+// (at, seq) is a strict total order — seq is unique — so any correct
+// priority queue pops events in exactly the same sequence. Switching the
+// heap's shape or sift implementation therefore cannot perturb event order,
+// which keeps every determinism pin byte-identical. Arity 4 roughly halves
+// tree depth versus a binary heap and keeps sibling keys on one cache line.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+const heapArity = 4
+
+// siftUp moves q[i] toward the root until its parent is smaller. The moving
+// event's key is held in registers; displaced parents shift down in place.
+func (q eventQueue) siftUp(i int) {
+	ev := q[i]
+	at, seq := ev.at, ev.seq
+	for i > 0 {
+		p := (i - 1) / heapArity
+		pe := q[p]
+		if pe.at < at || (pe.at == at && pe.seq < seq) {
+			break
+		}
+		q[i] = pe
+		pe.idx = i
+		i = p
 	}
-	return q[i].seq < q[j].seq
+	q[i] = ev
+	ev.idx = i
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+
+// siftDown moves q[i] toward the leaves, swapping with its smallest child
+// while that child is smaller.
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	ev := q[i]
+	at, seq := ev.at, ev.seq
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		m, me := first, q[first]
+		end := first + heapArity
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			ce := q[c]
+			if ce.at < me.at || (ce.at == me.at && ce.seq < me.seq) {
+				m, me = c, ce
+			}
+		}
+		if at < me.at || (at == me.at && seq < me.seq) {
+			break
+		}
+		q[i] = me
+		me.idx = i
+		i = m
+	}
+	q[i] = ev
+	ev.idx = i
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
+
+// push appends ev and restores heap order.
+func (e *Engine) push(ev *Event) {
+	ev.idx = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.queue.siftUp(ev.idx)
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
+
+// pop removes and returns the minimum event.
+func (e *Engine) pop() *Event {
+	q := e.queue
+	top := q[0]
+	top.idx = -1
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	e.queue = q
+	if n > 0 {
+		q[0] = last
+		last.idx = 0
+		q.siftDown(0)
+	}
+	return top
+}
+
+// remove deletes the event at heap index i (for Cancel).
+func (e *Engine) remove(i int) {
+	q := e.queue
+	n := len(q) - 1
+	q[i].idx = -1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if i < n {
+		q = e.queue
+		q[i] = last
+		last.idx = i
+		q.siftDown(i)
+		if q[i] == last {
+			q.siftUp(i)
+		}
+	}
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -187,6 +271,34 @@ func (e *Engine) Schedule(d Duration, fn func()) *Event {
 // ScheduleAt runs fn at absolute time t. Scheduling in the past panics: it
 // would silently corrupt causality, which in a simulator is always a bug.
 func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
+	ev := e.next(t)
+	ev.fn = fn
+	return ev
+}
+
+// ScheduleArg runs fn(arg) after delay d. Unlike Schedule, the callback and
+// its state travel separately: fn should be a long-lived function value (a
+// method value bound once at setup) and arg the per-firing payload, so the
+// simulation hot path schedules without allocating a closure. A negative
+// delay is treated as zero.
+func (e *Engine) ScheduleArg(d Duration, fn func(any), arg any) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.ScheduleArgAt(e.now.Add(d), fn, arg)
+}
+
+// ScheduleArgAt runs fn(arg) at absolute time t. Scheduling in the past
+// panics, exactly as ScheduleAt.
+func (e *Engine) ScheduleArgAt(t Time, fn func(any), arg any) *Event {
+	ev := e.next(t)
+	ev.afn, ev.arg = fn, arg
+	return ev
+}
+
+// next recycles (or allocates) an Event at time t and queues it with the
+// next FIFO sequence number; the caller fills in the callback fields.
+func (e *Engine) next(t Time) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: ScheduleAt(%v) is before now (%v)", t, e.now))
 	}
@@ -195,12 +307,12 @@ func (e *Engine) ScheduleAt(t Time, fn func()) *Event {
 		ev = e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = Event{at: t, seq: e.seq, fn: fn}
+		*ev = Event{at: t, seq: e.seq}
 	} else {
-		ev = &Event{at: t, seq: e.seq, fn: fn}
+		ev = &Event{at: t, seq: e.seq}
 	}
 	e.seq++
-	heap.Push(&e.queue, ev)
+	e.push(ev)
 	return ev
 }
 
@@ -213,8 +325,8 @@ func (e *Engine) Cancel(ev *Event) bool {
 		return false
 	}
 	ev.dead = true
-	heap.Remove(&e.queue, ev.idx)
-	ev.fn = nil
+	e.remove(ev.idx)
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
 	e.free = append(e.free, ev)
 	return true
 }
@@ -229,14 +341,18 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
 	ev.dead = true
-	fn := ev.fn
-	ev.fn = nil
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
 	e.free = append(e.free, ev)
-	fn()
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 

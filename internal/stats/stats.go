@@ -40,6 +40,18 @@ func (s *Sample) Add(v float64) {
 	s.sumSq += v * v
 }
 
+// Grow pre-sizes the sample to hold at least n observations without
+// reallocating, for collectors whose expected count is known up front (a
+// run's Measure target). It never shrinks and never drops observations.
+func (s *Sample) Grow(n int) {
+	if n <= cap(s.values) {
+		return
+	}
+	values := make([]float64, len(s.values), n)
+	copy(values, s.values)
+	s.values = values
+}
+
 // Count reports the number of observations recorded.
 func (s *Sample) Count() int { return len(s.values) }
 

@@ -92,11 +92,22 @@ func (p Profile) MeanService() float64 {
 
 // PickClass samples a class index according to the weights.
 func (p Profile) PickClass(r *rng.Source) int {
+	return p.PickClassAt(r.Float64() * p.TotalWeight())
+}
+
+// TotalWeight sums the class weights — the scale factor PickClassAt expects.
+func (p Profile) TotalWeight() float64 {
 	total := 0.0
 	for _, c := range p.Classes {
 		total += c.Weight
 	}
-	u := r.Float64() * total
+	return total
+}
+
+// PickClassAt maps a pre-drawn uniform u ∈ [0, TotalWeight()) to a class
+// index with exactly PickClass's weight walk, so callers batching their
+// Float64 draws (rng.FloatBatch) select byte-identical classes.
+func (p Profile) PickClassAt(u float64) int {
 	for i, c := range p.Classes {
 		if u < c.Weight {
 			return i
