@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-json bench-diff profile live-smoke obs-smoke shard-smoke
+.PHONY: all build fmt vet lint test race bench bench-json bench-diff profile live-smoke obs-smoke shard-smoke rack-smoke
 
 # Pinned so CI and local runs agree on what "clean" means.
 STATICCHECK_VERSION = 2025.1.1
@@ -49,6 +49,13 @@ live-smoke:
 shard-smoke:
 	$(GO) test -race -run '^TestShardSmoke$$' -v ./internal/core
 
+# rack-smoke runs the rack figure at its full 1000-node width (reduced
+# completion counts) under the race detector, generated twice and compared
+# cell by cell: the depth-indexed balancer's determinism at the scale that
+# motivated it. CI's race job runs it.
+rack-smoke:
+	$(GO) test -race -run '^TestRackSmoke$$' -v ./internal/core
+
 # obs-smoke proves the observability endpoints end to end: it starts
 # rpcvalet-live with -obs, scrapes /metrics and /healthz while the run is in
 # flight, and asserts Prometheus text format plus a nonzero completed
@@ -60,8 +67,10 @@ obs-smoke:
 # performance trajectory: the engine's scheduling hot path, the
 # figure-regeneration benches that exercise the dispatch-plan,
 # transient-telemetry, cluster, anatomy, and live layers end to end, the
-# sharded-engine (nodes × shards) throughput matrix, and the live runtime's
-# wall-clock shape comparison. CI uploads these as artifacts.
+# sharded-engine (nodes × shards) throughput matrix, the live runtime's
+# wall-clock shape comparison, and the rack-scale balancer decision engine
+# (ns per 1000-node policy pick plus end-to-end 1000-node runs). CI uploads
+# these as artifacts.
 bench-json:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineSchedule$$' -benchmem ./internal/sim \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
@@ -76,6 +85,9 @@ bench-json:
 		| $(GO) run ./cmd/benchjson > BENCH_obs.json
 	$(GO) test -run='^$$' -bench='$(HOTPATH_BENCHES)' -benchmem . \
 		| $(GO) run ./cmd/benchjson > BENCH_machine.json
+	{ $(GO) test -run='^$$' -bench='^BenchmarkPolicyPick$$' -benchmem ./internal/cluster; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkClusterRack$$' -benchtime=2x ./internal/cluster; } \
+		| $(GO) run ./cmd/benchjson > BENCH_rack.json
 
 # The hot-path benchmark set: steady-state per-request cost (allocs/op reads
 # as allocations per simulated request) and simulator throughput (sim_mrps).
@@ -93,6 +105,9 @@ bench-diff:
 	$(GO) test -run='^$$' -bench='$(HOTPATH_BENCHES)' -benchmem . \
 		| $(GO) run ./cmd/benchjson > $(BENCH_DIFF_NEW)
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_DIFF_THRESHOLD) $(BENCH_DIFF_OLD) $(BENCH_DIFF_NEW)
+	$(GO) test -run='^$$' -bench='^BenchmarkPolicyPick$$' -benchmem ./internal/cluster \
+		| $(GO) run ./cmd/benchjson > /tmp/BENCH_rack.new.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_DIFF_THRESHOLD) BENCH_rack.json /tmp/BENCH_rack.new.json
 
 # profile captures CPU and heap profiles of the heaviest end-to-end figure
 # (figCluster) and prints the top flat-cost functions of each — the data

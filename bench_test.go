@@ -69,6 +69,10 @@ func BenchmarkFigTransient(b *testing.B)           { regen(b, "transient") }
 func BenchmarkFigAnatomy(b *testing.B)             { regen(b, "anatomy") }
 func BenchmarkFigCluster(b *testing.B)             { regen(b, "cluster") }
 
+// BenchmarkFigRack regenerates the rack-scaling figure (up to 1000 nodes per
+// point); the depth-indexed balancer is what keeps it inside bench budget.
+func BenchmarkFigRack(b *testing.B) { regen(b, "rack") }
+
 // BenchmarkFigLive regenerates the live-runtime figure: wall-clock goroutine
 // runs, so its ns/op measures real serving windows, not simulator speed.
 func BenchmarkFigLive(b *testing.B) { regen(b, "live") }

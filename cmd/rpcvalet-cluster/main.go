@@ -64,7 +64,7 @@ func main() {
 		dispatch = flag.String("dispatch", "", "dispatch plan(s), overriding -mode: one spec for all nodes, or a comma-separated per-node list")
 		wlName   = flag.String("workload", "exp", "workload: herd, masstree, fixed, uniform, exp, gev")
 		policies = flag.String("policies", strings.Join(rpcvalet.ClusterPolicies(), ","),
-			"comma-separated balancing policies (random, rr, jsqD, bounded)")
+			"comma-separated balancing policies (random, rr, jsqD, jsqfull, bounded)")
 		arrName  = flag.String("arrival", "poisson", "arrival process: poisson, det, mmpp2, lognormal")
 		points   = flag.Int("points", 8, "offered-load points per policy")
 		lo       = flag.Float64("lo", 0.3, "lowest load fraction of cluster capacity")

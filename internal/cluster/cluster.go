@@ -243,10 +243,16 @@ type view struct {
 	outstanding []int // truth: dispatched minus completed
 	stale       []int // outstanding as of the last refresh
 	sent        []int // dispatches since the last refresh (always known)
+	// idx mirrors Depth as an incremental per-depth bitmap index (index.go)
+	// so the whole-cluster policies decide in O(N/64) instead of O(N). Every
+	// mutation below keeps it in sync with the *visible* depths: dispatches
+	// always count immediately, completions only on a live view (a stale
+	// view learns of drains at the periodic snapshot, which rebuilds).
+	idx *depthIndex
 }
 
 func newView(nodes int, live bool) *view {
-	v := &view{live: live, outstanding: make([]int, nodes)}
+	v := &view{live: live, outstanding: make([]int, nodes), idx: newDepthIndex(nodes)}
 	if !live {
 		v.stale = make([]int, nodes)
 		v.sent = make([]int, nodes)
@@ -263,20 +269,33 @@ func (v *view) Depth(i int) int {
 	return v.stale[i] + v.sent[i]
 }
 
+// index implements depthIndexed (policy.go), handing the whole-cluster
+// policies the fast decision path.
+func (v *view) index() *depthIndex { return v.idx }
+
 func (v *view) dispatched(i int) {
 	v.outstanding[i]++
 	if !v.live {
 		v.sent[i]++
 	}
+	v.idx.inc(i)
 }
 
-func (v *view) completed(i int) { v.outstanding[i]-- }
+func (v *view) completed(i int) {
+	v.outstanding[i]--
+	if v.live {
+		v.idx.dec(i)
+	}
+}
 
 func (v *view) snapshot() {
 	copy(v.stale, v.outstanding)
 	for i := range v.sent {
 		v.sent[i] = 0
 	}
+	// Post-snapshot the visible depth of every node is exactly outstanding
+	// (stale == outstanding, sent == 0).
+	v.idx.rebuild(v.outstanding)
 }
 
 // clusterReq is the balancer's pooled per-request tracker: it carries one

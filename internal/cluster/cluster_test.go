@@ -191,6 +191,7 @@ func TestPolicyPickBounds(t *testing.T) {
 	nodes := 5
 	v := newView(nodes, false)
 	copy(v.stale, []int{3, 0, 7, 2, 5})
+	v.idx.rebuild(v.stale) // poked depths directly; re-sync the index
 	r := rng.New(3)
 	for _, p := range []Policy{Random{}, &RoundRobin{}, JSQ{D: 2}, JSQ{D: 16}, &BoundedLoad{Factor: 1.25}} {
 		for i := 0; i < 200; i++ {

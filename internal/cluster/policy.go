@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -18,6 +19,17 @@ type View interface {
 	// Depth reports the (possibly stale) queue depth of node i: RPCs
 	// dispatched to it and not yet completed.
 	Depth(i int) int
+}
+
+// depthIndexed is the fast-path contract the balancer's own view satisfies:
+// a View whose depths are additionally indexed by the incremental depth
+// bitmap (index.go). The whole-cluster policies (full JSQ, BoundedLoad) use
+// it to decide in O(N/64); any other View implementation falls back to the
+// reference O(N) scans, which the equivalence grid (policy_equiv_test.go)
+// proves pick-identical and RNG-draw-identical.
+type depthIndexed interface {
+	View
+	index() *depthIndex
 }
 
 // Policy selects the destination node for each incoming RPC at the cluster
@@ -49,29 +61,44 @@ type RoundRobin struct {
 }
 
 func (p *RoundRobin) Pick(v View, _ *rng.Source) int {
-	i := p.next % v.Nodes()
-	p.next = i + 1
+	n := v.Nodes()
+	i := p.next % n
+	// Keep the cursor in [0, n) so it cannot overflow on ultra-long runs;
+	// byte-identical to the old ever-growing cursor because reads are mod n.
+	p.next = (i + 1) % n
 	return i
 }
 
 func (p *RoundRobin) Clone() Policy  { return &RoundRobin{} }
 func (p *RoundRobin) String() string { return "rr" }
 
+// FullScan, used as JSQ.D, selects whole-cluster join-shortest-queue at any
+// cluster size ("jsqfull" in reports): the decision considers every node, via
+// the depth index when the view provides one.
+const FullScan = math.MaxInt32
+
 // JSQ is join-shortest-queue over d sampled nodes (power-of-d-choices). With
-// d ≥ the cluster size it degenerates to full JSQ. Ties break toward the
-// earlier sampled node, which the random sampling order already
-// de-biases.
+// d ≥ the cluster size (use FullScan) it degenerates to full JSQ: the first
+// least-loaded node in circular order from a random start, so persistent
+// ties do not all land on node 0. Sampled ties break toward the earlier
+// sampled node, which the random sampling order already de-biases.
 type JSQ struct {
-	D int // choices per decision; ≥ 2
+	D int // choices per decision; ≥ 2 (FullScan = whole cluster)
 }
 
 func (p JSQ) Pick(v View, r *rng.Source) int {
 	n := v.Nodes()
 	d := p.D
 	if d >= n {
-		// Full scan; start at a random offset so persistent ties do not
-		// all land on node 0.
+		// Full scan: one draw for the tie-break offset, then the first
+		// minimum-depth node circularly from it. On an indexed view that is
+		// a find-first-set over the min-depth bitmap row; otherwise the
+		// reference wrap-around strict-min scan. Identical picks, same
+		// single IntN draw (policy_equiv_test.go).
 		start := r.IntN(n)
+		if ix, ok := v.(depthIndexed); ok {
+			return ix.index().firstAtMin(start)
+		}
 		best := start
 		for i := 1; i < n; i++ {
 			c := (start + i) % n
@@ -91,8 +118,14 @@ func (p JSQ) Pick(v View, r *rng.Source) int {
 	return best
 }
 
-func (p JSQ) Clone() Policy  { return JSQ{D: p.D} }
-func (p JSQ) String() string { return fmt.Sprintf("jsq%d", p.D) }
+func (p JSQ) Clone() Policy { return JSQ{D: p.D} }
+
+func (p JSQ) String() string {
+	if p.D >= FullScan {
+		return "jsqfull"
+	}
+	return fmt.Sprintf("jsq%d", p.D)
+}
 
 // BoundedLoad is round-robin with a load bound, in the spirit of consistent
 // hashing with bounded loads: the rotation skips any node whose sampled
@@ -103,27 +136,46 @@ type BoundedLoad struct {
 	next   int
 }
 
+// loadBound is BoundedLoad's admission threshold. The bound counts the
+// incoming RPC, so an idle cluster admits anywhere:
+// ceil(Factor × (total+1)/n).
+func loadBound(factor float64, total, n int) int {
+	return int(math.Ceil(factor * float64(total+1) / float64(n)))
+}
+
 func (p *BoundedLoad) Pick(v View, _ *rng.Source) int {
 	n := v.Nodes()
+	start := p.next % n
+	if ix, ok := v.(depthIndexed); ok {
+		// Indexed path: the running total replaces the O(N) depth sum, the
+		// under-bound rotation scan becomes a bitmap-row pass, and the
+		// everyone-over-bound fallback is the min-row's first node from the
+		// cursor — exactly the reference scan's circular-first argmin.
+		x := ix.index()
+		c := x.firstUnder(loadBound(p.Factor, x.total, n), start)
+		if c < 0 {
+			c = x.firstAtMin(start)
+		}
+		p.next = (c + 1) % n
+		return c
+	}
 	total := 0
 	for i := 0; i < n; i++ {
 		total += v.Depth(i)
 	}
-	// The bound counts the incoming RPC, so an idle cluster admits
-	// anywhere: ceil(Factor × (total+1)/n).
-	bound := int(p.Factor*float64(total+1)/float64(n) + 0.999999)
-	least := p.next % n
+	bound := loadBound(p.Factor, total, n)
+	least := start
 	for i := 0; i < n; i++ {
-		c := (p.next + i) % n
+		c := (start + i) % n
 		if v.Depth(c) < v.Depth(least) {
 			least = c
 		}
 		if v.Depth(c) < bound {
-			p.next = c + 1
+			p.next = (c + 1) % n
 			return c
 		}
 	}
-	p.next = least + 1
+	p.next = (least + 1) % n
 	return least
 }
 
@@ -131,9 +183,10 @@ func (p *BoundedLoad) Clone() Policy  { return &BoundedLoad{Factor: p.Factor} }
 func (p *BoundedLoad) String() string { return fmt.Sprintf("bounded%g", p.Factor) }
 
 // PolicyByName builds a fresh policy instance from its report name:
-// "random", "rr", "jsqD" for any d ≥ 2 (e.g. "jsq2"), or "bounded"
-// (Factor 1.25). Each call returns new state, so callers can hand every
-// simulation its own rotation position.
+// "random", "rr", "jsqD" for any d ≥ 2 (e.g. "jsq2"), "jsqfull"
+// (whole-cluster JSQ at any size), or "bounded" (Factor 1.25). Each call
+// returns new state, so callers can hand every simulation its own rotation
+// position.
 func PolicyByName(name string) (Policy, error) {
 	switch {
 	case name == "random":
@@ -142,14 +195,16 @@ func PolicyByName(name string) (Policy, error) {
 		return &RoundRobin{}, nil
 	case name == "bounded":
 		return &BoundedLoad{Factor: 1.25}, nil
+	case name == "jsqfull":
+		return JSQ{D: FullScan}, nil
 	case strings.HasPrefix(name, "jsq"):
 		d, err := strconv.Atoi(name[len("jsq"):])
 		if err != nil || d < 2 {
-			return nil, fmt.Errorf("cluster: bad JSQ choices in %q (want jsq2, jsq3, ...)", name)
+			return nil, fmt.Errorf("cluster: bad JSQ choices in %q (want jsq2, jsq3, ..., jsqfull)", name)
 		}
 		return JSQ{D: d}, nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown policy %q (want random, rr, jsqD, bounded)", name)
+		return nil, fmt.Errorf("cluster: unknown policy %q (want random, rr, jsqD, jsqfull, bounded)", name)
 	}
 }
 

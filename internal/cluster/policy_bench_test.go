@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"rpcvalet/internal/rng"
+)
+
+// rackPolicies is the benchmark policy set at rack scale: the two O(1)-ish
+// policies (random, rr), sampled JSQ(2), and the two whole-cluster policies
+// (full-scan JSQ, bounded-load) whose decision cost is the point of the
+// depth-index engine. Names are fixed strings, not Policy.String(), so the
+// benchmark identity survives policy-labeling changes and benchdiff can
+// compare snapshots across them.
+func rackPolicies(nodes int) []struct {
+	name string
+	mk   func() Policy
+} {
+	return []struct {
+		name string
+		mk   func() Policy
+	}{
+		{"random", func() Policy { return Random{} }},
+		{"rr", func() Policy { return &RoundRobin{} }},
+		{"jsq2", func() Policy { return JSQ{D: 2} }},
+		{"jsqfull", func() Policy { return JSQ{D: FullScan} }},
+		{"bounded", func() Policy { return &BoundedLoad{Factor: 1.25} }},
+	}
+}
+
+// BenchmarkPolicyPick measures the balancer's per-RPC decision cost alone,
+// at the ROADMAP's 1000-node rack target: one Pick plus the index updates a
+// dispatch and a completion cost on the live view. The churn keeps ~4
+// outstanding RPCs per node — a realistic mid-load depth distribution shaped
+// by the policy itself (each pick's node is dispatched; the pick from 4N
+// iterations ago completes). ns/op therefore reads as ns per balancer
+// decision at steady state.
+func BenchmarkPolicyPick(b *testing.B) {
+	const nodes = 1000
+	for _, pc := range rackPolicies(nodes) {
+		b.Run("policy="+pc.name+"/nodes=1000", func(b *testing.B) {
+			v := newView(nodes, true)
+			r := rng.New(1)
+			pol := pc.mk()
+			ring := make([]int, 4*nodes)
+			for i := range ring {
+				c := pol.Pick(v, r)
+				v.dispatched(c)
+				ring[i] = c
+			}
+			pos := 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := pol.Pick(v, r)
+				v.dispatched(c)
+				v.completed(ring[pos])
+				ring[pos] = c
+				pos++
+				if pos == len(ring) {
+					pos = 0
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterRack is the end-to-end 1000-node steady-state benchmark:
+// one full cluster.Run per iteration on the serial engine, so sim_mrps reads
+// the simulator's whole-rack throughput with the decision engine on the
+// arrival path. jsq2 rides along as the control: its pick cost is O(1), so
+// any movement there is simulator noise, while jsqfull and bounded isolate
+// the O(N)-scan-versus-index difference.
+func BenchmarkClusterRack(b *testing.B) {
+	const nodes = 1000
+	for _, pc := range rackPolicies(nodes) {
+		switch pc.name {
+		case "jsq2", "jsqfull", "bounded":
+		default:
+			continue
+		}
+		b.Run("policy="+pc.name+"/nodes=1000", func(b *testing.B) {
+			cfg := baseConfig(nodes, pc.mk(), 0.8)
+			cfg.Warmup = 2000
+			cfg.Measure = 30000
+			total := cfg.Warmup + cfg.Measure
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c := cfg
+				c.Policy = cfg.Policy.Clone()
+				res, err := Run(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed != total {
+					b.Fatalf("completed %d of %d", res.Completed, total)
+				}
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds()/1e6, "sim_mrps")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}

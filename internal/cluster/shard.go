@@ -149,6 +149,11 @@ func runSharded(cfg Config) (Result, error) {
 	}
 
 	// The balancer shard: arrival stream, policy, depth view, recorder.
+	// The view carries the depth index (index.go) exactly as on the serial
+	// path: dispatched/completed/snapshot below keep it in sync, so the
+	// O(N/64) indexed picks apply under sharding too. The view lives on the
+	// balancer shard only — node shards never touch it — so no extra
+	// synchronization is needed beyond the existing mailbox protocol.
 	beng := sim.New()
 	var bbuf []trace.Event
 	v := newView(cfg.Nodes, cfg.SampleEvery == 0)

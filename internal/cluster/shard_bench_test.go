@@ -19,7 +19,7 @@ import (
 // overhead. gomaxprocs is reported alongside so recorded numbers are
 // interpretable on any host.
 func BenchmarkClusterSharded(b *testing.B) {
-	for _, nodes := range []int{25, 100, 400} {
+	for _, nodes := range []int{25, 100, 400, 1000} {
 		for _, shards := range []int{1, 2, 4, 8, 16} {
 			b.Run(fmt.Sprintf("nodes=%d/shards=%d", nodes, shards), func(b *testing.B) {
 				cfg := baseConfig(nodes, JSQ{D: 2}, 0.7)

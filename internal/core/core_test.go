@@ -783,3 +783,77 @@ func TestShardSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRackFigure checks the rack figure's structure and determinism at toy
+// cluster sizes: registered ID, both tables fully populated across the
+// policy set, the claim set present, and identical cells run-to-run.
+func TestRackFigure(t *testing.T) {
+	if _, ok := Figures["rack"]; !ok {
+		t.Fatal("rack figure not registered")
+	}
+	o := tinyOptions()
+	o.Measure = 1500
+	ns := []int{4, 9}
+	gen := func() Figure {
+		fig, err := figRackOver(o, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Tables) != 2 {
+			t.Fatalf("rack figure has %d tables, want 2", len(fig.Tables))
+		}
+		for _, tbl := range fig.Tables {
+			if len(tbl.Rows) != len(ns) || len(tbl.Columns) != 1+len(rackPolicyNames) {
+				t.Fatalf("table %q is %d×%d, want %d×%d",
+					tbl.Title, len(tbl.Rows), len(tbl.Columns), len(ns), 1+len(rackPolicyNames))
+			}
+		}
+		if len(fig.Claims) != 4 {
+			t.Fatalf("rack figure has %d claims, want 4", len(fig.Claims))
+		}
+		return fig
+	}
+	a, b := gen(), gen()
+	for ti := range a.Tables {
+		for ri := range a.Tables[ti].Rows {
+			for ci := range a.Tables[ti].Rows[ri] {
+				if a.Tables[ti].Rows[ri][ci] != b.Tables[ti].Rows[ri][ci] {
+					t.Fatalf("rack figure diverged run-to-run: table %q cell [%d][%d]: %v vs %v",
+						a.Tables[ti].Title, ri, ci, a.Tables[ti].Rows[ri][ci], b.Tables[ti].Rows[ri][ci])
+				}
+			}
+		}
+	}
+}
+
+// TestRackSmoke is the `make rack-smoke` CI gate: the rack figure at its
+// full 1000-node size (reduced completion counts), generated twice, every
+// table cell byte-identical — the depth-indexed balancer must stay
+// deterministic at the scale that motivated it. The per-size memory cap in
+// figRackOver keeps the 1000-node cells sequential, so the test stays inside
+// race-detector memory budgets.
+func TestRackSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Measure = 1500
+	gen := func() Figure {
+		fig, err := figRackOver(o, []int{1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tbl := range fig.Tables {
+			if len(tbl.Rows) != 1 {
+				t.Fatalf("table %q has %d rows, want 1", tbl.Title, len(tbl.Rows))
+			}
+		}
+		return fig
+	}
+	a, b := gen(), gen()
+	for ti := range a.Tables {
+		for ci := range a.Tables[ti].Rows[0] {
+			if a.Tables[ti].Rows[0][ci] != b.Tables[ti].Rows[0][ci] {
+				t.Fatalf("1000-node rack figure diverged run-to-run: table %q cell [%d]: %v vs %v",
+					a.Tables[ti].Title, ci, a.Tables[ti].Rows[0][ci], b.Tables[ti].Rows[0][ci])
+			}
+		}
+	}
+}

@@ -378,7 +378,8 @@ type ClusterCurve = cluster.Curve
 type ClusterPoint = cluster.Point
 
 // ClusterPolicyByName builds a fresh balancing policy: "random", "rr",
-// "jsqD" for any d ≥ 2 (e.g. "jsq2"), or "bounded".
+// "jsqD" for any d ≥ 2 (e.g. "jsq2"), "jsqfull" (whole-cluster JSQ, served
+// by the balancer's depth index at O(N/64) per decision), or "bounded".
 func ClusterPolicyByName(name string) (ClusterPolicy, error) {
 	return cluster.PolicyByName(name)
 }
