@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet lint test race bench bench-json bench-diff profile live-smoke obs-smoke shard-smoke rack-smoke
+.PHONY: all build fmt vet lint test race bench bench-json bench-diff profile live-smoke obs-smoke shard-smoke rack-smoke hier-smoke
 
 # Pinned so CI and local runs agree on what "clean" means.
 STATICCHECK_VERSION = 2025.1.1
@@ -56,6 +56,14 @@ shard-smoke:
 rack-smoke:
 	$(GO) test -race -run '^TestRackSmoke$$' -v ./internal/core
 
+# hier-smoke runs the two-tier figure at its full 1000-node width (reduced
+# completion counts) under the race detector, generated twice and compared
+# cell by cell: the global balancer stacked over eight rack balancers —
+# including the degraded-rack and rack-failover studies — must stay
+# deterministic run to run. CI's race job runs it.
+hier-smoke:
+	$(GO) test -race -run '^TestHierSmoke$$' -v ./internal/core
+
 # obs-smoke proves the observability endpoints end to end: it starts
 # rpcvalet-live with -obs, scrapes /metrics and /healthz while the run is in
 # flight, and asserts Prometheus text format plus a nonzero completed
@@ -68,9 +76,10 @@ obs-smoke:
 # figure-regeneration benches that exercise the dispatch-plan,
 # transient-telemetry, cluster, anatomy, and live layers end to end, the
 # sharded-engine (nodes × shards) throughput matrix, the live runtime's
-# wall-clock shape comparison, and the rack-scale balancer decision engine
-# (ns per 1000-node policy pick plus end-to-end 1000-node runs). CI uploads
-# these as artifacts.
+# wall-clock shape comparison, the rack-scale balancer decision engine
+# (ns per 1000-node policy pick plus end-to-end 1000-node runs), and the
+# two-tier datacenter path (hier figure regeneration plus end-to-end
+# 1000-node serial and racks-as-shards runs). CI uploads these as artifacts.
 bench-json:
 	$(GO) test -run='^$$' -bench='^BenchmarkEngineSchedule$$' -benchmem ./internal/sim \
 		| $(GO) run ./cmd/benchjson > BENCH_engine.json
@@ -88,6 +97,9 @@ bench-json:
 	{ $(GO) test -run='^$$' -bench='^BenchmarkPolicyPick$$' -benchmem ./internal/cluster; \
 	  $(GO) test -run='^$$' -bench='^BenchmarkClusterRack$$' -benchtime=2x ./internal/cluster; } \
 		| $(GO) run ./cmd/benchjson > BENCH_rack.json
+	{ $(GO) test -run='^$$' -bench='^BenchmarkFigHier$$' -benchtime=1x .; \
+	  $(GO) test -run='^$$' -bench='^BenchmarkClusterHier$$' -benchtime=2x ./internal/cluster; } \
+		| $(GO) run ./cmd/benchjson > BENCH_hier.json
 
 # The hot-path benchmark set: steady-state per-request cost (allocs/op reads
 # as allocations per simulated request) and simulator throughput (sim_mrps).
@@ -108,6 +120,9 @@ bench-diff:
 	$(GO) test -run='^$$' -bench='^BenchmarkPolicyPick$$' -benchmem ./internal/cluster \
 		| $(GO) run ./cmd/benchjson > /tmp/BENCH_rack.new.json
 	$(GO) run ./cmd/benchdiff -threshold $(BENCH_DIFF_THRESHOLD) BENCH_rack.json /tmp/BENCH_rack.new.json
+	$(GO) test -run='^$$' -bench='^BenchmarkClusterHier$$' -benchtime=2x ./internal/cluster \
+		| $(GO) run ./cmd/benchjson > /tmp/BENCH_hier.new.json
+	$(GO) run ./cmd/benchdiff -threshold $(BENCH_DIFF_THRESHOLD) BENCH_hier.json /tmp/BENCH_hier.new.json
 
 # profile captures CPU and heap profiles of the heaviest end-to-end figure
 # (figCluster) and prints the top flat-cost functions of each — the data

@@ -73,6 +73,11 @@ func BenchmarkFigCluster(b *testing.B)             { regen(b, "cluster") }
 // point); the depth-indexed balancer is what keeps it inside bench budget.
 func BenchmarkFigRack(b *testing.B) { regen(b, "rack") }
 
+// BenchmarkFigHier regenerates the two-tier datacenter figure: flat vs
+// hierarchical topologies at up to 1000 nodes, plus the degraded-rack and
+// rack-failover studies, all through the stacked dispatch tier.
+func BenchmarkFigHier(b *testing.B) { regen(b, "hier") }
+
 // BenchmarkFigLive regenerates the live-runtime figure: wall-clock goroutine
 // runs, so its ns/op measures real serving windows, not simulator speed.
 func BenchmarkFigLive(b *testing.B) { regen(b, "live") }

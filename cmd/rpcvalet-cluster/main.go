@@ -9,6 +9,8 @@
 //	rpcvalet-cluster [-nodes 4] [-mode 1x16] [-dispatch jbsq2] [-workload exp]
 //	                 [-policies random,rr,jsq2,bounded] [-arrival poisson]
 //	                 [-points 8] [-lo 0.3] [-hi 0.9] [-hop 500] [-sample 0]
+//	                 [-racks 8] [-global-policy jsqfull] [-global-hop 500]
+//	                 [-global-sample 0]
 //	                 [-modulate pulse@400us+200us:x2] [-degrade 0:x1.5]
 //	                 [-epoch 25us] [-timeline]
 //	                 [-tail 32] [-trace-sample 1024] [-trace-jsonl spans.jsonl]
@@ -25,11 +27,20 @@
 // mmpp2, lognormal. Loads are fractions of the cluster's estimated
 // aggregate capacity.
 //
+// -racks splits the node set into R racks, each behind its own rack
+// balancer, with a global balancer dispatching over rack aggregate depths —
+// the two-tier datacenter topology. -global-policy picks the global tier's
+// policy (same grammar as -policies; the -policies list still names the
+// rack-level policy of each curve), -global-hop the global→rack network
+// latency in ns, and -global-sample a stale-scrape period for the global
+// depth view (0 = live). -racks 0 keeps the flat single-tier cluster.
+//
 // -modulate wraps the aggregate arrival stream in a rate envelope
 // ("step@AT:xF", "pulse@START+DUR:xF", "ramp@START+DUR:xF",
-// "square@PERIOD/HIGH:xF"); -degrade injects per-node faults
-// ("0:x1.5;3:pause@500us+100us"); -timeline prints the highest-load
-// point's aggregate and per-node timelines for the first policy.
+// "square@PERIOD/HIGH:xF"); -degrade injects per-node or per-rack faults
+// ("0:x1.5;3:pause@500us+100us", "rack0:pause@1ms+500us" — rack scopes
+// need -racks); -timeline prints the highest-load point's aggregate and
+// per-node timelines for the first policy.
 //
 // -shards runs each simulation on N parallel engine shards — per-node-group
 // event wheels plus a balancer shard, synchronized conservatively at the
@@ -71,13 +82,17 @@ func main() {
 		hi       = flag.Float64("hi", 0.9, "highest load fraction of cluster capacity")
 		hop      = flag.Float64("hop", 500, "balancer→node network hop, ns")
 		sample   = flag.Float64("sample", 0, "balancer depth-view refresh period, ns (0 = live)")
+		racks    = flag.Int("racks", 0, "split nodes into R racks behind a global balancer (0 = flat)")
+		gpolName = flag.String("global-policy", "jsqfull", "global balancer policy over racks (used with -racks)")
+		ghop     = flag.Float64("global-hop", 500, "global balancer→rack balancer hop, ns (used with -racks)")
+		gsample  = flag.Float64("global-sample", 0, "global rack-depth scrape period, ns (0 = live; used with -racks)")
 		warmup   = flag.Int("warmup", 2000, "completions discarded before measuring")
 		measure  = flag.Int("measure", 20000, "completions measured per point")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		format   = flag.String("format", "text", "output format: text, csv, or json")
 		detail   = flag.Bool("detail", false, "also print throughput and imbalance tables")
 		modulate = flag.String("modulate", "", "aggregate rate envelope: step@AT:xF, pulse@START+DUR:xF, ramp@START+DUR:xF, square@PERIOD/HIGH:xF")
-		degrade  = flag.String("degrade", "", "per-node faults: NODE:FAULT list, e.g. 0:x1.5;3:pause@500us+100us")
+		degrade  = flag.String("degrade", "", "per-node or per-rack faults: SCOPE:FAULT list, e.g. 0:x1.5;3:pause@500us+100us or rack0:x2")
 		epoch    = flag.String("epoch", "", "timeline epoch length (e.g. 25us; empty = auto)")
 		timeline = flag.Bool("timeline", false, "print the highest-load point's timelines (first policy)")
 		workers  = flag.Int("workers", 0, "concurrent simulations per sweep (0 = NumCPU)")
@@ -196,6 +211,16 @@ func main() {
 		}
 		cfg.Hop = sim.FromNanos(*hop)
 		cfg.SampleEvery = sim.FromNanos(*sample)
+		if *racks > 0 {
+			cfg.Racks = *racks
+			cfg.GlobalPolicy, err = rpcvalet.ClusterPolicyByName(*gpolName)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rpcvalet-cluster: %v\n", err)
+				os.Exit(2)
+			}
+			cfg.GlobalHop = sim.FromNanos(*ghop)
+			cfg.GlobalSampleEvery = sim.FromNanos(*gsample)
+		}
 		cfg.Warmup = *warmup
 		cfg.Measure = *measure
 		cfg.Seed = *seed
@@ -224,8 +249,12 @@ func main() {
 	if *dispatch != "" {
 		dispLabel = *dispatch
 	}
-	fmt.Printf("# cluster: %d × %s nodes, %s workload, capacity ≈ %.1f MRPS, hop %.0f ns, seed %d\n\n",
-		*nodes, dispLabel, wl.Name, capacity, *hop, *seed)
+	topo := ""
+	if *racks > 0 {
+		topo = fmt.Sprintf(" in %d racks (%s global, %.0f ns global hop)", *racks, *gpolName, *ghop)
+	}
+	fmt.Printf("# cluster: %d × %s nodes%s, %s workload, capacity ≈ %.1f MRPS, hop %.0f ns, seed %d\n\n",
+		*nodes, dispLabel, topo, wl.Name, capacity, *hop, *seed)
 	emit := func(title string, value func(rpcvalet.ClusterPoint) float64) {
 		cols := []string{"load", "rate_mrps"}
 		for _, c := range curves {

@@ -98,25 +98,72 @@ type Config struct {
 	// completions (one hop later — the notification crosses the network
 	// back) but is itself deterministic: a fixed (Seed, Shards>1) pair
 	// reproduces the identical Result at any shard count ≥ 2.
+	//
+	// On a hierarchical run (Racks > 0) the shards are the racks: any
+	// Shards > 1 runs one engine per rack plus the global balancer's, with
+	// GlobalHop as the conservative lookahead (so it must be positive),
+	// and the rack-internal hop stays intra-shard. See hier_shard.go.
 	Shards int
+
+	// Racks arranges the cluster as a two-tier datacenter: a global
+	// balancer dispatching over Racks rack balancers, each running the
+	// full flat-cluster machinery (policy, depth index, staleness, faults,
+	// traces) over its contiguous slice of the node set. 0 means the
+	// historical flat topology — one balancer in front of every node —
+	// and is byte-identical to every pinned result. Racks = 1 with
+	// GlobalHop = 0 is the degenerate hierarchy: one rack behind a
+	// pass-through global tier, byte-identical to the flat cluster (the
+	// pin suite enforces it).
+	Racks int
+	// RackNodes, when non-empty, sizes each rack explicitly (length must
+	// equal Racks, entries positive, sum = Nodes). Empty means an even
+	// partition, which then requires Racks to divide Nodes.
+	RackNodes []int
+	// GlobalPolicy routes each arriving RPC to a rack; the rack's own
+	// Policy then picks the node. Any Policy works — the global tier sees
+	// each rack as one endpoint whose depth is the rack balancer's
+	// aggregate outstanding. Required for Racks >= 2; with Racks = 1 it
+	// may be nil (every request goes to the only rack, no RNG drawn).
+	GlobalPolicy Policy
+	// GlobalHop is the one-way global→rack-balancer network latency
+	// charged before the rack balancer sees the request. The return
+	// completion notification is charged symmetrically on the sharded
+	// path, which uses GlobalHop as its lookahead window.
+	GlobalHop sim.Duration
+	// GlobalSampleEvery is the period at which the global balancer scrapes
+	// each rack balancer's published aggregate depth. Zero means a live
+	// view of its own dispatch/completion accounting. Serial runs only
+	// (Shards <= 1): a sharded global tier cannot scrape engines mid-round.
+	GlobalSampleEvery sim.Duration
 }
 
-// NodeFault assigns one node a machine-level fault: a service-time slowdown
-// and/or stall windows. Nodes without an entry stay healthy.
+// NodeFault assigns one node — or, with Rack set, one whole rack — a
+// machine-level fault: a service-time slowdown and/or stall windows. Nodes
+// without an entry stay healthy. A rack-scoped fault (hierarchical runs
+// only) applies the fault to every node in the rack, and additionally stalls
+// the rack *balancer* itself through the fault's pause windows: requests
+// reaching a paused rack balancer wait for the window to end before a node
+// is picked.
 type NodeFault struct {
-	Node     int
+	Node     int     // node index, or rack index when Rack is set
+	Rack     bool    // scope Node as a rack index (needs Config.Racks >= 1)
 	Slowdown float64 // handler service-time multiplier (0 or 1 = none)
 	Pauses   []machine.Pause
 }
 
 func (f NodeFault) String() string {
-	return fmt.Sprintf("%d:%s", f.Node, machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses})
+	scope := ""
+	if f.Rack {
+		scope = "rack"
+	}
+	return fmt.Sprintf("%s%d:%s", scope, f.Node, machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses})
 }
 
 // ParseFaults parses the -degrade grammar: a semicolon-separated list of
-// NODE:FAULT entries, each fault a comma-separated mix of "x<factor>"
-// slowdowns and "pause@START+DUR" windows — e.g.
-// "0:x1.5" or "0:x2,pause@1ms+200us;3:pause@500us+100us".
+// SCOPE:FAULT entries, each scope a node index ("3") or a rack index
+// ("rack2"), each fault a comma-separated mix of "x<factor>" slowdowns and
+// "pause@START+DUR" windows — e.g. "0:x1.5",
+// "0:x2,pause@1ms+200us;3:pause@500us+100us", or "rack0:pause@1ms+500us".
 func ParseFaults(spec string) ([]NodeFault, error) {
 	var out []NodeFault
 	for _, entry := range strings.Split(spec, ";") {
@@ -126,20 +173,33 @@ func ParseFaults(spec string) ([]NodeFault, error) {
 		}
 		nodeStr, faultStr, ok := strings.Cut(entry, ":")
 		if !ok {
-			return nil, fmt.Errorf("cluster: bad fault entry %q (want NODE:FAULT)", entry)
+			return nil, fmt.Errorf("cluster: bad fault entry %q (want NODE:FAULT or rackR:FAULT)", entry)
 		}
-		node, err := strconv.Atoi(strings.TrimSpace(nodeStr))
+		nodeStr = strings.TrimSpace(nodeStr)
+		rack := false
+		if rest, found := strings.CutPrefix(nodeStr, "rack"); found {
+			rack = true
+			nodeStr = rest
+		}
+		node, err := strconv.Atoi(nodeStr)
 		if err != nil || node < 0 {
+			if rack {
+				return nil, fmt.Errorf("cluster: bad fault rack %q", "rack"+nodeStr)
+			}
 			return nil, fmt.Errorf("cluster: bad fault node %q", nodeStr)
 		}
 		f, err := machine.ParseFault(faultStr)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, NodeFault{Node: node, Slowdown: f.Slowdown, Pauses: f.Pauses})
+		out = append(out, NodeFault{Node: node, Rack: rack, Slowdown: f.Slowdown, Pauses: f.Pauses})
 	}
 	return out, nil
 }
+
+// Hierarchical reports whether the config describes a two-tier topology
+// (Racks >= 1) rather than the flat single-balancer cluster.
+func (c Config) Hierarchical() bool { return c.Racks > 0 }
 
 func (c Config) validate() error {
 	switch {
@@ -165,11 +225,50 @@ func (c Config) validate() error {
 		return fmt.Errorf("cluster: negative epoch bound")
 	case c.Shards < 0:
 		return fmt.Errorf("cluster: negative shard count %d", c.Shards)
-	case c.Shards > 1 && c.Hop <= 0:
+	case c.Shards > 1 && !c.Hierarchical() && c.Hop <= 0:
 		return fmt.Errorf("cluster: Shards=%d needs a positive Hop (the conservative lookahead window)", c.Shards)
+	case c.Racks < 0:
+		return fmt.Errorf("cluster: negative rack count %d", c.Racks)
+	case c.Racks > c.Nodes:
+		return fmt.Errorf("cluster: %d racks for %d nodes", c.Racks, c.Nodes)
+	case !c.Hierarchical() && (c.GlobalPolicy != nil || c.GlobalHop != 0 || c.GlobalSampleEvery != 0 || len(c.RackNodes) != 0):
+		return fmt.Errorf("cluster: global-tier fields (GlobalPolicy/GlobalHop/GlobalSampleEvery/RackNodes) need Racks >= 1")
+	case c.GlobalHop < 0:
+		return fmt.Errorf("cluster: negative global hop latency")
+	case c.GlobalSampleEvery < 0:
+		return fmt.Errorf("cluster: negative global sampling period")
+	case c.Racks >= 2 && c.GlobalPolicy == nil:
+		return fmt.Errorf("cluster: Racks=%d needs a GlobalPolicy to pick racks", c.Racks)
+	case len(c.RackNodes) != 0 && len(c.RackNodes) != c.Racks:
+		return fmt.Errorf("cluster: %d rack sizes for %d racks", len(c.RackNodes), c.Racks)
+	case c.Hierarchical() && len(c.RackNodes) == 0 && c.Nodes%c.Racks != 0:
+		return fmt.Errorf("cluster: %d nodes do not evenly partition into %d racks (size them with RackNodes)", c.Nodes, c.Racks)
+	case c.Hierarchical() && c.Shards > 1 && c.GlobalHop <= 0:
+		return fmt.Errorf("cluster: hierarchical Shards=%d needs a positive GlobalHop (the conservative lookahead window)", c.Shards)
+	case c.Hierarchical() && c.Shards > 1 && c.GlobalSampleEvery > 0:
+		return fmt.Errorf("cluster: hierarchical Shards>1 cannot scrape rack aggregates (GlobalSampleEvery must be 0)")
+	}
+	if len(c.RackNodes) != 0 {
+		sum := 0
+		for r, n := range c.RackNodes {
+			if n <= 0 {
+				return fmt.Errorf("cluster: rack %d sized %d nodes", r, n)
+			}
+			sum += n
+		}
+		if sum != c.Nodes {
+			return fmt.Errorf("cluster: RackNodes sum %d for %d nodes", sum, c.Nodes)
+		}
 	}
 	for _, f := range c.Faults {
-		if f.Node < 0 || f.Node >= c.Nodes {
+		if f.Rack {
+			if !c.Hierarchical() {
+				return fmt.Errorf("cluster: rack-scoped fault %s needs Racks >= 1", f)
+			}
+			if f.Node < 0 || f.Node >= c.Racks {
+				return fmt.Errorf("cluster: fault for rack %d of %d", f.Node, c.Racks)
+			}
+		} else if f.Node < 0 || f.Node >= c.Nodes {
 			return fmt.Errorf("cluster: fault for node %d of %d", f.Node, c.Nodes)
 		}
 		if f.Slowdown < 0 {
@@ -185,6 +284,16 @@ type Result struct {
 	Nodes    int
 	RateMRPS float64
 	Seed     uint64
+
+	// Racks and GlobalPolicy echo the two-tier topology of a hierarchical
+	// run (0 and "" on the flat cluster). RackCompleted counts completions
+	// per rack — the global balancer's routing fingerprint — and
+	// RackFaults labels each rack's rack-scoped degradation ("healthy"
+	// otherwise). All nil/zero on flat runs.
+	Racks         int
+	GlobalPolicy  string
+	RackCompleted []int
+	RackFaults    []string
 
 	// Latency is end-to-end: balancer ingress → handler completion,
 	// including the network hop, for latency-measured classes only. Ns.
@@ -298,6 +407,18 @@ func (v *view) snapshot() {
 	v.idx.rebuild(v.outstanding)
 }
 
+// snapshotFrom refreshes the stale view from an external depth source — the
+// global tier scraping each rack balancer's published aggregate — instead of
+// the view's own outstanding accounting. Dispatches since the scrape keep
+// counting live through sent, as in snapshot.
+func (v *view) snapshotFrom(depth func(i int) int) {
+	for i := range v.stale {
+		v.stale[i] = depth(i)
+		v.sent[i] = 0
+	}
+	v.idx.rebuild(v.stale)
+}
+
 // clusterReq is the balancer's pooled per-request tracker: it carries one
 // RPC's identity through the hop event and its completion callback, then
 // returns to the free-list (the completion callback is its last reader).
@@ -335,6 +456,12 @@ func (t *nodeTracer) Record(e trace.Event) {
 func Run(cfg Config) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Hierarchical() {
+		if cfg.Shards > 1 {
+			return runHierSharded(cfg)
+		}
+		return runHier(cfg)
 	}
 	if cfg.Shards > 1 && min(cfg.Shards, cfg.Nodes) > 1 {
 		return runSharded(cfg)
@@ -396,15 +523,11 @@ func Run(cfg Config) (Result, error) {
 		nodes[i] = m
 	}
 
-	v := newView(cfg.Nodes, cfg.SampleEvery == 0)
-	if !v.live {
-		var refresh func()
-		refresh = func() {
-			v.snapshot()
-			eng.Schedule(cfg.SampleEvery, refresh)
-		}
-		eng.Schedule(cfg.SampleEvery, refresh)
-	}
+	// The balancer is one dispatch tier over the node set (tier.go) — the
+	// same abstraction the hierarchical engines stack two of.
+	bal := newTier(cfg.Policy, polRNG, cfg.Nodes, cfg.SampleEvery == 0)
+	bal.scheduleRefresh(eng, cfg.SampleEvery)
+	v := bal.v
 
 	var (
 		completed     int
@@ -466,7 +589,7 @@ func Run(cfg Config) (Result, error) {
 	arrive = func() {
 		id := seq
 		seq++
-		n := cfg.Policy.Pick(v, polRNG)
+		n := bal.pick()
 		if n < 0 || n >= cfg.Nodes {
 			// A custom policy misbehaved; fail attributably rather than
 			// panicking deep inside a deferred engine callback.

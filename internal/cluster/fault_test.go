@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"strings"
 	"testing"
 
 	"rpcvalet/internal/machine"
@@ -26,6 +27,61 @@ func TestParseFaults(t *testing.T) {
 		if _, err := ParseFaults(bad); err == nil {
 			t.Errorf("ParseFaults(%q) accepted", bad)
 		}
+	}
+}
+
+// TestParseFaultsRack: the rack-scoped grammar "rackR:FAULT" parses into a
+// NodeFault with Rack set, mixes freely with node-scoped entries, and
+// round-trips through String.
+func TestParseFaultsRack(t *testing.T) {
+	fs, err := ParseFaults("rack0:pause@1ms+200us; 2:x1.5")
+	if err != nil || len(fs) != 2 {
+		t.Fatalf("rack+node entries -> %+v, %v", fs, err)
+	}
+	if !fs[0].Rack || fs[0].Node != 0 || len(fs[0].Pauses) != 1 || fs[0].Pauses[0].Start != sim.FromMicros(1000) {
+		t.Fatalf("rack entry = %+v", fs[0])
+	}
+	if fs[1].Rack || fs[1].Node != 2 || fs[1].Slowdown != 1.5 {
+		t.Fatalf("node entry = %+v", fs[1])
+	}
+	if got := fs[0].String(); got != "rack0:pause@1000us+200us" {
+		t.Fatalf("rack fault String = %q", got)
+	}
+	fs, err = ParseFaults("rack3:x2,pause@500us+100us")
+	if err != nil || len(fs) != 1 || !fs[0].Rack || fs[0].Node != 3 || fs[0].Slowdown != 2 {
+		t.Fatalf("rack3 compound -> %+v, %v", fs, err)
+	}
+	for _, bad := range []string{"rack:x2", "rack-1:x2", "rackx:x2", "rack1.5:x2"} {
+		_, err := ParseFaults(bad)
+		if err == nil {
+			t.Errorf("ParseFaults(%q) accepted", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "rack") {
+			t.Errorf("ParseFaults(%q) error %q does not name the rack scope", bad, err)
+		}
+	}
+}
+
+// TestRackFaultValidation: rack-scoped faults are only legal on hierarchical
+// configs and must name a rack that exists.
+func TestRackFaultValidation(t *testing.T) {
+	flat := baseConfig(4, Random{}, 0.5)
+	flat.Faults = []NodeFault{{Node: 0, Rack: true, Slowdown: 1.5}}
+	if _, err := Run(flat); err == nil {
+		t.Error("rack-scoped fault accepted on a flat cluster")
+	}
+
+	hier := baseConfig(4, Random{}, 0.5)
+	hier.Racks = 2
+	hier.GlobalPolicy = Random{}
+	hier.Faults = []NodeFault{{Node: 2, Rack: true, Slowdown: 1.5}}
+	if _, err := Run(hier); err == nil {
+		t.Error("out-of-range rack fault accepted")
+	}
+	hier.Faults = []NodeFault{{Node: -1, Rack: true, Slowdown: 1.5}}
+	if _, err := Run(hier); err == nil {
+		t.Error("negative rack fault accepted")
 	}
 }
 

@@ -1,0 +1,320 @@
+package cluster
+
+// Hierarchical (two-tier) cluster execution: the serial engine behind
+// Config.Racks >= 1. The topology is a datacenter front-end: a global
+// balancer dispatches every arriving RPC to one of Racks rack balancers
+// (charged Config.GlobalHop of network), and each rack balancer runs the
+// full flat-cluster machinery — its own Policy instance, depth index, stale
+// sampling, node hop — over its contiguous slice of the node set. Both
+// stages are instances of the same dispatch tier (tier.go); the global
+// tier's endpoints are the racks themselves, each publishing its
+// aggregate-over-index depth.
+//
+// Flat-equivalence contract: Racks = 1 with GlobalHop = 0 is byte-identical
+// to the flat cluster (Racks = 0). Three things conspire to make that exact:
+// the RNG split order (arrival, rack policies in rack order, node seeds in
+// node order — the global tier's stream is split *last*, so for one rack the
+// prefix matches the flat derivation and the trailing split is
+// unobservable); the global tier draws from its own stream (its picks never
+// perturb the rack policies' streams); and a zero global hop delivers the
+// request to the rack balancer synchronously inside the arrival event — no
+// intermediate engine event, so the (time, seq) interleaving of every
+// scheduled event matches the flat path exactly. pin_test.go enforces this
+// against the historical pinned numbers.
+//
+// Rack-scoped faults (NodeFault.Rack) degrade a whole rack: every node in
+// the rack receives the machine-level fault, and the fault's pause windows
+// additionally freeze the rack *balancer* — a request reaching a frozen
+// balancer waits (in arrival order) until the window closes before a node is
+// picked. The stall lands in the request's global-hop leg
+// (global-forward → balancer-recv), which is exactly where a tail-anatomy
+// reading wants it: fabric-plus-frozen-balancer time, not node queueing.
+
+import (
+	"fmt"
+
+	"rpcvalet/internal/arrival"
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/metrics"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/trace"
+)
+
+// hierReq is the pooled per-request tracker of the hierarchical path: one
+// RPC's identity from global ingress through the rack hop and its completion
+// callback, then back to the free-list.
+type hierReq struct {
+	id   uint64
+	rack int
+	node int      // global node index, set at the rack balancer
+	sent sim.Time // global ingress, the latency epoch
+}
+
+// rackState is one rack balancer: its dispatch tier plus geometry and the
+// balancer-level pause windows from rack-scoped faults.
+type rackState struct {
+	t      *tier
+	start  int // first global node index of the rack
+	size   int
+	pauses []machine.Pause // freezes the balancer itself
+}
+
+// hierFaults expands Config.Faults for a hierarchical run: per-node machine
+// faults (rack-scoped entries fan out to every node in the rack, later
+// entries overwriting earlier ones exactly like flat fault lists),
+// per-rack balancer pause windows, and the per-rack fault labels for
+// Result.RackFaults.
+func hierFaults(cfg Config, size, start []int) (faultByNode []machine.Fault, balPauses [][]machine.Pause, rackLabel []machine.Fault) {
+	faultByNode = make([]machine.Fault, cfg.Nodes)
+	balPauses = make([][]machine.Pause, cfg.Racks)
+	rackLabel = make([]machine.Fault, cfg.Racks)
+	for _, f := range cfg.Faults {
+		mf := machine.Fault{Slowdown: f.Slowdown, Pauses: f.Pauses}
+		if !f.Rack {
+			faultByNode[f.Node] = mf
+			continue
+		}
+		r := f.Node
+		for i := start[r]; i < start[r]+size[r]; i++ {
+			faultByNode[i] = mf
+		}
+		balPauses[r] = append(balPauses[r], f.Pauses...)
+		rackLabel[r] = mf
+	}
+	return faultByNode, balPauses, rackLabel
+}
+
+// hierResult decorates an assembled flat Result with the two-tier fields.
+func hierResult(res Result, cfg Config, rackCompleted []int, rackLabel []machine.Fault) Result {
+	res.Racks = cfg.Racks
+	if cfg.GlobalPolicy != nil {
+		res.GlobalPolicy = cfg.GlobalPolicy.String()
+	}
+	res.RackCompleted = rackCompleted
+	for r := 0; r < cfg.Racks; r++ {
+		res.RackFaults = append(res.RackFaults, rackLabel[r].String())
+	}
+	return res
+}
+
+// runHier simulates a validated hierarchical config on one engine.
+func runHier(cfg Config) (Result, error) {
+	eng := sim.New()
+	root := rng.New(cfg.Seed)
+	arrRNG := root.Split()
+	// One policy stream per rack, split in rack order; rack 0 reuses
+	// cfg.Policy itself (the same stream position the flat balancer's
+	// policy holds), later racks run independent clones.
+	rackRNG := make([]*rng.Source, cfg.Racks)
+	for r := range rackRNG {
+		rackRNG[r] = root.Split()
+	}
+
+	// Tracing sinks, identical to the flat path.
+	var tail *trace.TailSampler
+	if cfg.TailSamples > 0 {
+		tail = trace.NewTailSampler(cfg.TailSamples)
+	}
+	sampleN := uint64(1)
+	if cfg.TraceSample > 1 {
+		sampleN = uint64(cfg.TraceSample)
+	}
+	var record func(trace.Event)
+	if cfg.Trace != nil || tail != nil {
+		record = func(e trace.Event) {
+			if tail != nil {
+				tail.Record(e)
+			}
+			if cfg.Trace != nil && e.ReqID%sampleN == 0 {
+				cfg.Trace.Record(e)
+			}
+		}
+	}
+
+	size, start := rackGeometry(cfg)
+	faultByNode, balPauses, rackLabel := hierFaults(cfg, size, start)
+	nodes := make([]*machine.Machine, cfg.Nodes)
+	tracers := make([]*nodeTracer, cfg.Nodes)
+	for i := range nodes {
+		ncfg := cfg.Node
+		ncfg.Seed = root.Split().Uint64()
+		ncfg.Epoch = cfg.Epoch
+		ncfg.MaxEpochs = cfg.MaxEpochs
+		if len(cfg.NodePlans) > 0 && cfg.NodePlans[i] != nil {
+			ncfg.Params.Plan = cfg.NodePlans[i]
+		}
+		ncfg.Slowdown = faultByNode[i].Slowdown
+		ncfg.Pauses = faultByNode[i].Pauses
+		if record != nil {
+			tracers[i] = &nodeTracer{node: i, emit: record}
+			ncfg.Trace = tracers[i]
+			ncfg.TraceSample = 0 // sampling happens on cluster IDs, above
+			ncfg.TailSamples = 0 // the cluster-level tail splices the hops in
+		}
+		m, err := machine.NewShared(ncfg, eng)
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		nodes[i] = m
+	}
+
+	// The global tier's RNG stream is split after every rack and node
+	// stream — the tail position, so a one-rack topology's prefix matches
+	// the flat derivation exactly.
+	globalRNG := root.Split()
+
+	// Rack tiers, each over its own slice of the node set.
+	racks := make([]*rackState, cfg.Racks)
+	for r := range racks {
+		pol := cfg.Policy
+		if r > 0 {
+			pol = cfg.Policy.Clone()
+		}
+		racks[r] = &rackState{
+			t:      newTier(pol, rackRNG[r], size[r], cfg.SampleEvery == 0),
+			start:  start[r],
+			size:   size[r],
+			pauses: balPauses[r],
+		}
+		racks[r].t.scheduleRefresh(eng, cfg.SampleEvery)
+	}
+
+	// The global tier over the racks. Live (GlobalSampleEvery == 0) it
+	// tracks its own dispatch/completion accounting exactly; stale it
+	// scrapes each rack balancer's published aggregate depth periodically.
+	g := newTier(cfg.GlobalPolicy, globalRNG, cfg.Racks, cfg.GlobalSampleEvery == 0)
+	g.scheduleScrape(eng, cfg.GlobalSampleEvery, func(r int) int { return racks[r].t.aggregate() })
+
+	var (
+		completed     int
+		totalOut      int // dispatched and not yet complete, datacenter-wide
+		nodeCompleted = make([]int, cfg.Nodes)
+		rackCompleted = make([]int, cfg.Racks)
+		target        = cfg.Warmup + cfg.Measure
+		timedOut      bool
+	)
+	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs, Expect: cfg.Measure})
+	if cfg.MaxSimTime > 0 {
+		eng.Schedule(cfg.MaxSimTime, func() {
+			timedOut = true
+			eng.Stop()
+		})
+	}
+
+	var runErr error
+	gaps := arrival.NewBatch(arrival.Resolve(cfg.Arrival, cfg.RateMRPS), arrRNG, 0)
+	var seq uint64 // datacenter-wide request sequence number
+
+	var pool []*hierReq
+	doneFn := func(arg any, _ int, measured bool) {
+		q := arg.(*hierReq)
+		rk := racks[q.rack]
+		rk.t.completed(q.node - rk.start)
+		g.completed(q.rack)
+		totalOut--
+		completed++
+		nodeCompleted[q.node]++
+		rackCompleted[q.rack]++
+		pool = append(pool, q)
+		if completed == cfg.Warmup+1 {
+			rec.OpenWindow(eng.Now())
+		}
+		rec.Complete(eng.Now(), metrics.Completion{
+			Class:     -1,
+			Measured:  measured,
+			LatencyNs: eng.Now().Sub(q.sent).Nanos(),
+			WaitNs:    -1,
+			ServiceNs: -1,
+			Depth:     totalOut,
+		})
+		if completed >= target {
+			rec.CloseWindow(eng.Now())
+			eng.Stop()
+		}
+	}
+	hopFn := func(arg any) {
+		q := arg.(*hierReq)
+		if record != nil {
+			// The machine numbers this inject len(ids); remember its
+			// cluster-wide identity at that index.
+			tracers[q.node].ids = append(tracers[q.node].ids, q.id)
+		}
+		nodes[q.node].InjectArg(doneFn, q)
+	}
+	// recvFn is the rack balancer: it fires when the request has crossed
+	// the global hop. A frozen balancer (rack-scoped pause window) defers
+	// the whole decision to the window's end — engine seq order keeps the
+	// deferred requests FIFO — and re-checks, so chained windows compound.
+	var recvFn func(arg any)
+	recvFn = func(arg any) {
+		q := arg.(*hierReq)
+		rk := racks[q.rack]
+		if stall := machine.PauseStall(rk.pauses, eng.Now()); stall > 0 {
+			eng.ScheduleArg(stall, recvFn, q)
+			return
+		}
+		local := rk.t.pick()
+		if local < 0 || local >= rk.size {
+			runErr = fmt.Errorf("cluster: policy %s picked node %d of %d in rack %d", rk.t.pol, local, rk.size, q.rack)
+			eng.Stop()
+			return
+		}
+		q.node = rk.start + local
+		if record != nil {
+			now := eng.Now()
+			record(trace.Event{ReqID: q.id, Phase: trace.PhaseBalancerRecv, At: now, Core: -1, Node: -1, Depth: rk.t.aggregate()})
+			record(trace.Event{ReqID: q.id, Phase: trace.PhaseForward, At: now, Core: -1, Node: q.node, Depth: rk.t.depth(local)})
+		}
+		rk.t.dispatched(local)
+		eng.ScheduleArg(cfg.Hop, hopFn, q)
+	}
+	var arrive func()
+	arrive = func() {
+		id := seq
+		seq++
+		r := 0
+		if g.pol != nil {
+			r = g.pick()
+			if r < 0 || r >= cfg.Racks {
+				runErr = fmt.Errorf("cluster: global policy %s picked rack %d of %d", g.pol, r, cfg.Racks)
+				eng.Stop()
+				return
+			}
+		}
+		if record != nil {
+			// Depths are the global tier's pre-decision view: datacenter
+			// outstanding at ingress, its view of the chosen rack at forward.
+			now := eng.Now()
+			record(trace.Event{ReqID: id, Phase: trace.PhaseGlobalRecv, At: now, Core: -1, Node: -1, Depth: totalOut})
+			record(trace.Event{ReqID: id, Phase: trace.PhaseGlobalForward, At: now, Core: -1, Node: r, Depth: g.depth(r)})
+		}
+		g.dispatched(r)
+		totalOut++
+		var q *hierReq
+		if np := len(pool); np > 0 {
+			q = pool[np-1]
+			pool = pool[:np-1]
+		} else {
+			q = &hierReq{}
+		}
+		q.id, q.rack, q.sent = id, r, eng.Now()
+		if cfg.GlobalHop == 0 {
+			// Deliver synchronously: no intermediate event, so the engine's
+			// (time, seq) interleaving — and with one rack, the whole result
+			// stream — matches the flat path byte for byte.
+			recvFn(q)
+		} else {
+			eng.ScheduleArg(cfg.GlobalHop, recvFn, q)
+		}
+		eng.Schedule(gaps.Next(), arrive)
+	}
+	eng.Schedule(gaps.Next(), arrive)
+	eng.Run()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	res := assemble(cfg, rec, tail, nodes, faultByNode, nodeCompleted, completed, timedOut)
+	return hierResult(res, cfg, rackCompleted, rackLabel), nil
+}

@@ -1,0 +1,377 @@
+package cluster
+
+// Sharded hierarchical execution: the conservative parallel-DES path behind
+// Config.Racks >= 1 with Config.Shards > 1. The shards *are* the racks —
+// the PDES partition aligns with the topology's natural boundary: each rack
+// balancer plus its machines runs on one private engine, the global balancer
+// (arrival stream, global tier, metrics recorder) on one more, and
+// internal/sim/pdes advances them in rounds exactly one GlobalHop wide.
+// GlobalHop is the conservative lookahead: every cross-shard effect
+// (global→rack routing, rack→global completion notification) is charged one
+// global hop, while the rack-internal balancer→node hop never crosses a
+// shard and needs no lookahead at all.
+//
+// Determinism mirrors shard.go: cross-shard messages merge by (timestamp,
+// datacenter-wide request id), trace events flush per round sorted by
+// (At, ReqID, phase rank), and RNG streams split off the root in the same
+// order as runHier. Semantics vs the serial hierarchical engine: the global
+// tier learns of completions one GlobalHop late (the notification crosses
+// the fabric back), exactly the feedback-latency delta the flat sharded
+// path has at the node hop. Per-request latency is still global-ingress →
+// handler-completion.
+
+import (
+	"fmt"
+	"sort"
+
+	"rpcvalet/internal/arrival"
+	"rpcvalet/internal/machine"
+	"rpcvalet/internal/metrics"
+	"rpcvalet/internal/rng"
+	"rpcvalet/internal/sim"
+	"rpcvalet/internal/sim/pdes"
+	"rpcvalet/internal/trace"
+)
+
+// routeMsg is a global→rack routed RPC; the rack balancer sees it one
+// GlobalHop after the global tier forwarded it.
+type routeMsg struct {
+	id   uint64
+	sent sim.Time // global ingress, the latency epoch
+}
+
+// hdoneMsg is a rack→global completion notification; the global tier's view
+// learns of the drain one GlobalHop after the handler finished.
+type hdoneMsg struct {
+	rack     int
+	node     int
+	sent     sim.Time
+	measured bool
+}
+
+// rackShard is one rack — balancer tier plus machines — on a private engine.
+type rackShard struct {
+	eng    *sim.Engine
+	t      *tier
+	rack   int
+	start  int
+	size   int
+	pauses []machine.Pause
+	buf    []trace.Event          // this round's trace events
+	done   pdes.Mailbox[hdoneMsg] // this round's completions
+	pool   []*hierShardReq
+	err    error // rack-local failure, surfaced at the next exchange
+}
+
+// hierShardReq is the pooled per-request tracker on the sharded
+// hierarchical path, alive from route delivery through node completion.
+type hierShardReq struct {
+	id   uint64
+	node int
+	sent sim.Time
+	sh   *rackShard
+}
+
+// hdoneEvt is the global-side pooled tracker for one completion
+// notification between exchange and delivery.
+type hdoneEvt struct {
+	at sim.Time
+	d  hdoneMsg
+}
+
+func runHierSharded(cfg Config) (Result, error) {
+	var tail *trace.TailSampler
+	if cfg.TailSamples > 0 {
+		tail = trace.NewTailSampler(cfg.TailSamples)
+	}
+	sampleN := uint64(1)
+	if cfg.TraceSample > 1 {
+		sampleN = uint64(cfg.TraceSample)
+	}
+	tracing := cfg.Trace != nil || tail != nil
+
+	// Seed derivation order is identical to runHier, so every stream is the
+	// same whether the racks share one clock or run one per goroutine.
+	root := rng.New(cfg.Seed)
+	arrRNG := root.Split()
+	rackRNG := make([]*rng.Source, cfg.Racks)
+	for r := range rackRNG {
+		rackRNG[r] = root.Split()
+	}
+
+	size, start := rackGeometry(cfg)
+	faultByNode, balPauses, rackLabel := hierFaults(cfg, size, start)
+
+	shards := make([]*rackShard, cfg.Racks)
+	rackOf := make([]int, cfg.Nodes)
+	for r := range shards {
+		pol := cfg.Policy
+		if r > 0 {
+			pol = cfg.Policy.Clone()
+		}
+		shards[r] = &rackShard{
+			eng:    sim.New(),
+			rack:   r,
+			start:  start[r],
+			size:   size[r],
+			pauses: balPauses[r],
+		}
+		shards[r].t = newTier(pol, rackRNG[r], size[r], cfg.SampleEvery == 0)
+		shards[r].t.scheduleRefresh(shards[r].eng, cfg.SampleEvery)
+		for i := start[r]; i < start[r]+size[r]; i++ {
+			rackOf[i] = r
+		}
+	}
+	nodes := make([]*machine.Machine, cfg.Nodes)
+	tracers := make([]*nodeTracer, cfg.Nodes)
+	for i := range nodes {
+		ncfg := cfg.Node
+		ncfg.Seed = root.Split().Uint64()
+		ncfg.Epoch = cfg.Epoch
+		ncfg.MaxEpochs = cfg.MaxEpochs
+		if len(cfg.NodePlans) > 0 && cfg.NodePlans[i] != nil {
+			ncfg.Params.Plan = cfg.NodePlans[i]
+		}
+		ncfg.Slowdown = faultByNode[i].Slowdown
+		ncfg.Pauses = faultByNode[i].Pauses
+		sh := shards[rackOf[i]]
+		if tracing {
+			tracers[i] = &nodeTracer{node: i, emit: func(e trace.Event) { sh.buf = append(sh.buf, e) }}
+			ncfg.Trace = tracers[i]
+			ncfg.TraceSample = 0 // sampling happens on cluster IDs at flush
+			ncfg.TailSamples = 0 // the cluster-level tail splices the hops in
+		}
+		m, err := machine.NewShared(ncfg, sh.eng)
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: node %d: %w", i, err)
+		}
+		nodes[i] = m
+	}
+	globalRNG := root.Split()
+
+	// The global shard: arrival stream, global tier over the racks (live
+	// accounting only — validation rejects a scraping global view here,
+	// since no engine's state may be read mid-round), metrics recorder.
+	beng := sim.New()
+	var bbuf []trace.Event
+	g := newTier(cfg.GlobalPolicy, globalRNG, cfg.Racks, true)
+	route := make([]*pdes.Mailbox[routeMsg], cfg.Racks)
+	for r := range route {
+		route[r] = &pdes.Mailbox[routeMsg]{}
+	}
+
+	var (
+		completed     int
+		totalOut      int // dispatched and not yet *known* complete
+		nodeCompleted = make([]int, cfg.Nodes)
+		rackCompleted = make([]int, cfg.Racks)
+		target        = cfg.Warmup + cfg.Measure
+		timedOut      bool
+		halt          bool
+		runErr        error
+	)
+	rec := metrics.NewRecorder(metrics.Config{EpochNanos: cfg.Epoch.Nanos(), MaxEpochs: cfg.MaxEpochs, Expect: cfg.Measure})
+	stop := func() {
+		halt = true
+		beng.Stop()
+	}
+	if cfg.MaxSimTime > 0 {
+		beng.Schedule(cfg.MaxSimTime, func() {
+			timedOut = true
+			stop()
+		})
+	}
+
+	gaps := arrival.NewBatch(arrival.Resolve(cfg.Arrival, cfg.RateMRPS), arrRNG, 0)
+	var seq uint64 // datacenter-wide request sequence number
+	var arrive func()
+	arrive = func() {
+		id := seq
+		seq++
+		r := 0
+		if g.pol != nil {
+			r = g.pick()
+			if r < 0 || r >= cfg.Racks {
+				runErr = fmt.Errorf("cluster: global policy %s picked rack %d of %d", g.pol, r, cfg.Racks)
+				stop()
+				return
+			}
+		}
+		if tracing {
+			now := beng.Now()
+			bbuf = append(bbuf,
+				trace.Event{ReqID: id, Phase: trace.PhaseGlobalRecv, At: now, Core: -1, Node: -1, Depth: totalOut},
+				trace.Event{ReqID: id, Phase: trace.PhaseGlobalForward, At: now, Core: -1, Node: r, Depth: g.depth(r)})
+		}
+		g.dispatched(r)
+		totalOut++
+		sent := beng.Now()
+		route[r].Send(sent.Add(cfg.GlobalHop), id, routeMsg{id: id, sent: sent})
+		beng.Schedule(gaps.Next(), arrive)
+	}
+	beng.Schedule(gaps.Next(), arrive)
+
+	// deliver applies one completion notification on the global shard at
+	// notification time `at`; the handler finished one GlobalHop earlier,
+	// and the measurement stream is stamped with that completion time so
+	// latency and epoch slicing match the serial definitions.
+	deliver := func(at sim.Time, d hdoneMsg) {
+		c := at.Add(-cfg.GlobalHop)
+		g.completed(d.rack)
+		totalOut--
+		completed++
+		nodeCompleted[d.node]++
+		rackCompleted[d.rack]++
+		if completed == cfg.Warmup+1 {
+			rec.OpenWindow(c)
+		}
+		rec.Complete(c, metrics.Completion{
+			Class:     -1,
+			Measured:  d.measured,
+			LatencyNs: c.Sub(d.sent).Nanos(),
+			WaitNs:    -1,
+			ServiceNs: -1,
+			Depth:     totalOut,
+		})
+		if completed >= target {
+			rec.CloseWindow(c)
+			stop()
+		}
+	}
+
+	// Per-request callbacks, bound once. recvFn is the rack balancer on the
+	// rack's own engine: it handles a frozen balancer (rack-scoped pause)
+	// by deferring itself to the window's end, then picks a node and runs
+	// the rack-internal hop entirely intra-shard.
+	var nodeDoneFn func(arg any, class int, measured bool)
+	nodeDoneFn = func(arg any, _ int, measured bool) {
+		q := arg.(*hierShardReq)
+		sh := q.sh
+		sh.done.Send(sh.eng.Now().Add(cfg.GlobalHop), q.id,
+			hdoneMsg{rack: sh.rack, node: q.node, sent: q.sent, measured: measured})
+		sh.pool = append(sh.pool, q)
+	}
+	hopFn := func(arg any) {
+		q := arg.(*hierShardReq)
+		if tracing {
+			// The machine numbers this inject len(ids); remember its
+			// cluster-wide identity at that index.
+			tracers[q.node].ids = append(tracers[q.node].ids, q.id)
+		}
+		nodes[q.node].InjectArg(nodeDoneFn, q)
+	}
+	var recvFn func(arg any)
+	recvFn = func(arg any) {
+		q := arg.(*hierShardReq)
+		sh := q.sh
+		if stall := machine.PauseStall(sh.pauses, sh.eng.Now()); stall > 0 {
+			sh.eng.ScheduleArg(stall, recvFn, q)
+			return
+		}
+		local := sh.t.pick()
+		if local < 0 || local >= sh.size {
+			sh.err = fmt.Errorf("cluster: policy %s picked node %d of %d in rack %d", sh.t.pol, local, sh.size, sh.rack)
+			sh.eng.Stop()
+			return
+		}
+		q.node = sh.start + local
+		if tracing {
+			now := sh.eng.Now()
+			sh.buf = append(sh.buf,
+				trace.Event{ReqID: q.id, Phase: trace.PhaseBalancerRecv, At: now, Core: -1, Node: -1, Depth: sh.t.aggregate()},
+				trace.Event{ReqID: q.id, Phase: trace.PhaseForward, At: now, Core: -1, Node: q.node, Depth: sh.t.depth(local)})
+		}
+		sh.t.dispatched(local)
+		sh.eng.ScheduleArg(cfg.Hop, hopFn, q)
+	}
+
+	var (
+		routeScratch []pdes.Msg[routeMsg]
+		doneScratch  []pdes.Msg[hdoneMsg]
+		doneBoxes    = make([]*pdes.Mailbox[hdoneMsg], cfg.Racks)
+		evScratch    []trace.Event
+		donePool     []*hdoneEvt
+	)
+	for r, sh := range shards {
+		doneBoxes[r] = &sh.done
+	}
+	deliverFn := func(arg any) {
+		e := arg.(*hdoneEvt)
+		deliver(e.at, e.d)
+		donePool = append(donePool, e)
+	}
+
+	// exchange runs single-threaded between rounds: deliver the round's
+	// cross-shard messages in (At, request id) order and flush its trace
+	// events in (At, ReqID, phase-rank) order — both partition-independent.
+	exchange := func(deadline sim.Time) bool {
+		for r, sh := range shards {
+			if sh.err != nil && runErr == nil {
+				runErr = sh.err
+			}
+			routeScratch = pdes.Gather(routeScratch, route[r])
+			for _, m := range routeScratch {
+				var q *hierShardReq
+				if np := len(sh.pool); np > 0 {
+					q = sh.pool[np-1]
+					sh.pool = sh.pool[:np-1]
+				} else {
+					q = &hierShardReq{sh: sh}
+				}
+				q.id, q.node, q.sent = m.Payload.id, -1, m.Payload.sent
+				sh.eng.ScheduleArgAt(m.At, recvFn, q)
+			}
+		}
+		doneScratch = pdes.Gather(doneScratch, doneBoxes...)
+		for _, m := range doneScratch {
+			var e *hdoneEvt
+			if np := len(donePool); np > 0 {
+				e = donePool[np-1]
+				donePool = donePool[:np-1]
+			} else {
+				e = &hdoneEvt{}
+			}
+			e.at, e.d = m.At, m.Payload
+			beng.ScheduleArgAt(m.At, deliverFn, e)
+		}
+		if tracing {
+			evScratch = append(evScratch[:0], bbuf...)
+			bbuf = bbuf[:0]
+			for _, sh := range shards {
+				evScratch = append(evScratch, sh.buf...)
+				sh.buf = sh.buf[:0]
+			}
+			sort.Slice(evScratch, func(i, j int) bool {
+				a, b := evScratch[i], evScratch[j]
+				if a.At != b.At {
+					return a.At < b.At
+				}
+				if a.ReqID != b.ReqID {
+					return a.ReqID < b.ReqID
+				}
+				return a.Phase.Rank() < b.Phase.Rank()
+			})
+			for _, e := range evScratch {
+				if tail != nil {
+					tail.Record(e)
+				}
+				if cfg.Trace != nil && e.ReqID%sampleN == 0 {
+					cfg.Trace.Record(e)
+				}
+			}
+		}
+		return !halt && runErr == nil
+	}
+
+	rounds := make([]pdes.RoundFunc, 0, cfg.Racks+1)
+	for _, sh := range shards {
+		rounds = append(rounds, func(d sim.Time) { sh.eng.RunUntil(d) })
+	}
+	rounds = append(rounds, func(d sim.Time) { beng.RunUntil(d) })
+	pdes.Run(cfg.GlobalHop, rounds, exchange)
+	if runErr != nil {
+		return Result{}, runErr
+	}
+	res := assemble(cfg, rec, tail, nodes, faultByNode, nodeCompleted, completed, timedOut)
+	return hierResult(res, cfg, rackCompleted, rackLabel), nil
+}

@@ -148,23 +148,17 @@ func runSharded(cfg Config) (Result, error) {
 		nodes[i] = m
 	}
 
-	// The balancer shard: arrival stream, policy, depth view, recorder.
-	// The view carries the depth index (index.go) exactly as on the serial
-	// path: dispatched/completed/snapshot below keep it in sync, so the
-	// O(N/64) indexed picks apply under sharding too. The view lives on the
-	// balancer shard only — node shards never touch it — so no extra
-	// synchronization is needed beyond the existing mailbox protocol.
+	// The balancer shard: arrival stream, one dispatch tier (tier.go) over
+	// the node set, recorder. The tier's view carries the depth index
+	// (index.go) exactly as on the serial path, so the O(N/64) indexed
+	// picks apply under sharding too. The view lives on the balancer shard
+	// only — node shards never touch it — so no extra synchronization is
+	// needed beyond the existing mailbox protocol.
 	beng := sim.New()
 	var bbuf []trace.Event
-	v := newView(cfg.Nodes, cfg.SampleEvery == 0)
-	if !v.live {
-		var refresh func()
-		refresh = func() {
-			v.snapshot()
-			beng.Schedule(cfg.SampleEvery, refresh)
-		}
-		beng.Schedule(cfg.SampleEvery, refresh)
-	}
+	bal := newTier(cfg.Policy, polRNG, cfg.Nodes, cfg.SampleEvery == 0)
+	bal.scheduleRefresh(beng, cfg.SampleEvery)
+	v := bal.v
 	inject := make([]*pdes.Mailbox[injectMsg], nshards)
 	for s := range inject {
 		inject[s] = &pdes.Mailbox[injectMsg]{}
@@ -197,7 +191,7 @@ func runSharded(cfg Config) (Result, error) {
 	arrive = func() {
 		id := seq
 		seq++
-		n := cfg.Policy.Pick(v, polRNG)
+		n := bal.pick()
 		if n < 0 || n >= cfg.Nodes {
 			runErr = fmt.Errorf("cluster: policy %s picked node %d of %d", cfg.Policy, n, cfg.Nodes)
 			stop()

@@ -76,6 +76,191 @@ func TestCrossNodeTraceCausality(t *testing.T) {
 	}
 }
 
+// checkHierLifecycles asserts, request by request, the full 8-phase
+// hierarchical lifecycle: global-recv → global-forward → balancer-recv →
+// forward → arrive → dispatch → start → complete, ranks strictly increasing,
+// time never running backwards, the global-forward naming a real rack, the
+// serving node inside that rack, and both hops at least as wide as
+// configured. Returns the number of fully traced completions.
+func checkHierLifecycles(t *testing.T, cfg Config, byReq map[uint64][]trace.Event) int {
+	t.Helper()
+	perRack := cfg.Nodes / cfg.Racks
+	completed := 0
+	for id, evs := range byReq {
+		if evs[len(evs)-1].Phase != trace.PhaseComplete {
+			continue // still in flight when the run stopped
+		}
+		completed++
+		if evs[0].Phase != trace.PhaseGlobalRecv {
+			t.Fatalf("req %d: first phase %v, want global-recv", id, evs[0].Phase)
+		}
+		rack, node := -1, -2 // unassigned
+		for i, e := range evs {
+			if i == 0 {
+				continue
+			}
+			prev := evs[i-1]
+			if e.Phase.Rank() <= prev.Phase.Rank() {
+				t.Fatalf("req %d: %v after %v", id, e.Phase, prev.Phase)
+			}
+			if e.At < prev.At {
+				t.Fatalf("req %d: time ran backwards at %v", id, e.Phase)
+			}
+			switch e.Phase {
+			case trace.PhaseGlobalForward:
+				rack = e.Node // Node carries the rack index on this phase
+				if rack < 0 || rack >= cfg.Racks {
+					t.Fatalf("req %d: global-forward to rack %d of %d", id, rack, cfg.Racks)
+				}
+			case trace.PhaseBalancerRecv:
+				if hop := e.At.Sub(prev.At); hop < cfg.GlobalHop {
+					t.Fatalf("req %d: global hop %v shorter than configured %v", id, hop, cfg.GlobalHop)
+				}
+			case trace.PhaseForward:
+				node = e.Node
+				if node < rack*perRack || node >= (rack+1)*perRack {
+					t.Fatalf("req %d: rack %d forwarded to node %d outside [%d,%d)",
+						id, rack, node, rack*perRack, (rack+1)*perRack)
+				}
+			case trace.PhaseArrive:
+				if e.At.Sub(prev.At) < cfg.Hop {
+					t.Fatalf("req %d: hop %v shorter than configured %v", id, e.At.Sub(prev.At), cfg.Hop)
+				}
+				fallthrough
+			default:
+				if node != -2 && e.Node != node {
+					t.Fatalf("req %d: forwarded to node %d, %v on node %d", id, node, e.Phase, e.Node)
+				}
+			}
+		}
+		if len(evs) != 8 {
+			t.Fatalf("req %d: %d events, want the full 8-phase lifecycle", id, len(evs))
+		}
+	}
+	return completed
+}
+
+// checkHierSpanLegs asserts every tail span telescopes: the six legs between
+// the eight hierarchical milestones sum exactly to the end-to-end latency,
+// the added global leg is at least the configured global hop, the recorded
+// rack matches the serving node, and WaitShare stays a fraction.
+func checkHierSpanLegs(t *testing.T, cfg Config, spans []trace.Span) {
+	t.Helper()
+	perRack := cfg.Nodes / cfg.Racks
+	for i, s := range spans {
+		if !s.Completed() {
+			t.Fatalf("tail span %d incomplete: %v", i, s)
+		}
+		if s.GlobalRecv == trace.Unset || s.GlobalForward == trace.Unset {
+			t.Fatalf("tail span %d missing global milestones: %+v", i, s)
+		}
+		if s.Rack != s.Node/perRack {
+			t.Fatalf("tail span %d: rack %d but node %d (per-rack %d)", i, s.Rack, s.Node, perRack)
+		}
+		if s.GlobalHopNs() < cfg.GlobalHop.Nanos() {
+			t.Fatalf("tail span %d: global hop %.0fns < configured %.0fns", i, s.GlobalHopNs(), cfg.GlobalHop.Nanos())
+		}
+		legs := (s.GlobalForward.Sub(s.GlobalRecv).Nanos()) +
+			s.GlobalHopNs() +
+			(s.Forward.Sub(s.BalancerRecv).Nanos()) +
+			s.HopNs() +
+			s.QueueWaitNs() +
+			s.ServiceNs()
+		if diff := legs - s.TotalNs(); diff < -1e-6 || diff > 1e-6 {
+			t.Fatalf("tail span %d: legs sum %.3fns != total %.3fns", i, legs, s.TotalNs())
+		}
+		if ws := s.WaitShare(); ws < 0 || ws > 1 {
+			t.Fatalf("tail span %d: WaitShare %v outside [0,1]", i, ws)
+		}
+	}
+}
+
+// TestHierTraceCausality runs a traced two-tier cluster under every
+// global×rack policy combination and asserts the 8-phase lifecycle is
+// causally ordered across both hops: the global dispatch decision precedes
+// the rack balancer's, each hop spans its configured latency, and the tail
+// spans' legs still telescope to the end-to-end latency with the global leg
+// added.
+func TestHierTraceCausality(t *testing.T) {
+	for _, globalName := range PolicyNames {
+		for _, rackName := range PolicyNames {
+			t.Run(globalName+"x"+rackName, func(t *testing.T) {
+				gpol, err := PolicyByName(globalName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rpol, err := PolicyByName(rackName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := baseConfig(4, rpol, 0.6)
+				cfg.Racks = 2
+				cfg.GlobalPolicy = gpol
+				cfg.GlobalHop = 300 * sim.Nanosecond
+				cfg.Warmup = 50
+				cfg.Measure = 300
+				cfg.TailSamples = 8
+				var events []trace.Event
+				cfg.Trace = trace.Func(func(e trace.Event) { events = append(events, e) })
+				res := run(t, cfg)
+
+				byReq := make(map[uint64][]trace.Event)
+				for _, e := range events {
+					byReq[e.ReqID] = append(byReq[e.ReqID], e)
+				}
+				if len(byReq) < res.Completed {
+					t.Fatalf("traced %d requests, completed %d", len(byReq), res.Completed)
+				}
+				if completed := checkHierLifecycles(t, cfg, byReq); completed < res.Completed {
+					t.Fatalf("%d fully traced completions for %d completed requests", completed, res.Completed)
+				}
+				checkHierSpanLegs(t, cfg, res.TailSpans)
+			})
+		}
+	}
+}
+
+// TestHierShardedTraceCausality is the same 8-phase causality property on
+// the racks-as-shards path: per-rack engines plus a global engine, trace
+// events merged between global-hop-wide rounds, must still yield causally
+// ordered lifecycles and telescoping span legs for every policy combination.
+func TestHierShardedTraceCausality(t *testing.T) {
+	for _, globalName := range PolicyNames {
+		for _, rackName := range PolicyNames {
+			t.Run(globalName+"x"+rackName, func(t *testing.T) {
+				gpol, err := PolicyByName(globalName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rpol, err := PolicyByName(rackName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := baseConfig(8, rpol, 0.6)
+				cfg.Racks = 4
+				cfg.Shards = 4
+				cfg.GlobalPolicy = gpol
+				cfg.GlobalHop = 300 * sim.Nanosecond
+				cfg.Warmup = 50
+				cfg.Measure = 400
+				cfg.TailSamples = 8
+				var events []trace.Event
+				cfg.Trace = trace.Func(func(e trace.Event) { events = append(events, e) })
+				res := run(t, cfg)
+
+				byReq := make(map[uint64][]trace.Event)
+				for _, e := range events {
+					byReq[e.ReqID] = append(byReq[e.ReqID], e)
+				}
+				if completed := checkHierLifecycles(t, cfg, byReq); completed < res.Completed {
+					t.Fatalf("%d fully traced completions for %d completed requests", completed, res.Completed)
+				}
+				checkHierSpanLegs(t, cfg, res.TailSpans)
+			})
+		}
+	}
+}
+
 // TestShardedTraceCausality is the cross-shard causality property: the
 // anatomy/trace path run on a *sharded* cluster — nodes split across
 // parallel engines, trace events merged between hop-wide rounds — must

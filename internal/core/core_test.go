@@ -857,3 +857,84 @@ func TestRackSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestHierFigure checks the hierarchical figure's structure and determinism
+// at toy datacenter sizes: registered ID, all four tables populated, the
+// five-claim set present, and identical cells run-to-run.
+func TestHierFigure(t *testing.T) {
+	if _, ok := Figures["hier"]; !ok {
+		t.Fatal("hier figure not registered")
+	}
+	o := tinyOptions()
+	o.Measure = 1500
+	ns := []int{16, 24} // multiples of HierRacks
+	gen := func() Figure {
+		fig, err := figHierOver(o, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fig.Tables) != 4 {
+			t.Fatalf("hier figure has %d tables, want 4", len(fig.Tables))
+		}
+		for _, tbl := range fig.Tables[:2] {
+			if len(tbl.Rows) != len(ns) || len(tbl.Columns) != 1+len(hierTopologies) {
+				t.Fatalf("table %q is %d×%d, want %d×%d",
+					tbl.Title, len(tbl.Rows), len(tbl.Columns), len(ns), 1+len(hierTopologies))
+			}
+		}
+		for _, tbl := range fig.Tables[2:] {
+			if len(tbl.Rows) != 2 {
+				t.Fatalf("table %q has %d rows, want 2", tbl.Title, len(tbl.Rows))
+			}
+		}
+		if len(fig.Claims) != 5 {
+			t.Fatalf("hier figure has %d claims, want 5", len(fig.Claims))
+		}
+		return fig
+	}
+	a, b := gen(), gen()
+	for ti := range a.Tables {
+		for ri := range a.Tables[ti].Rows {
+			for ci := range a.Tables[ti].Rows[ri] {
+				if a.Tables[ti].Rows[ri][ci] != b.Tables[ti].Rows[ri][ci] {
+					t.Fatalf("hier figure diverged run-to-run: table %q cell [%d][%d]: %v vs %v",
+						a.Tables[ti].Title, ri, ci, a.Tables[ti].Rows[ri][ci], b.Tables[ti].Rows[ri][ci])
+				}
+			}
+		}
+	}
+}
+
+// TestHierSmoke is the `make hier-smoke` CI gate: the hierarchical figure at
+// its full 1000-node size (reduced completion counts), generated twice,
+// every table cell byte-identical — the stacked dispatch tier must stay as
+// deterministic as the flat balancer at the scale that motivated it. The
+// per-size memory cap in figHierOver keeps the 1000-node cells sequential,
+// so the test stays inside race-detector memory budgets.
+func TestHierSmoke(t *testing.T) {
+	o := tinyOptions()
+	o.Measure = 1500
+	gen := func() Figure {
+		fig, err := figHierOver(o, []int{1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tbl := range fig.Tables[:2] {
+			if len(tbl.Rows) != 1 {
+				t.Fatalf("table %q has %d rows, want 1", tbl.Title, len(tbl.Rows))
+			}
+		}
+		return fig
+	}
+	a, b := gen(), gen()
+	for ti := range a.Tables {
+		for ri := range a.Tables[ti].Rows {
+			for ci := range a.Tables[ti].Rows[ri] {
+				if a.Tables[ti].Rows[ri][ci] != b.Tables[ti].Rows[ri][ci] {
+					t.Fatalf("1000-node hier figure diverged run-to-run: table %q cell [%d][%d]: %v vs %v",
+						a.Tables[ti].Title, ri, ci, a.Tables[ti].Rows[ri][ci], b.Tables[ti].Rows[ri][ci])
+				}
+			}
+		}
+	}
+}

@@ -41,10 +41,11 @@ func clusterBase(o Options, wl workload.Profile, mode machine.Mode, pol cluster.
 }
 
 // ClusterSweep runs the cluster at every aggregate rate (concurrently, on
-// runPoints) and returns the curve in rate order. Each point gets a freshly
-// cloned policy, so rotation state never leaks across points or goroutines.
-// When base is sharded, each point is itself a team of goroutines, so the
-// fan-out narrows to keep `workers` the cap on total goroutines.
+// runPoints) and returns the curve in rate order. Each point gets freshly
+// cloned policies (rack and, when hierarchical, global), so rotation state
+// never leaks across points or goroutines. When base is sharded, each point
+// is itself a team of goroutines, so the fan-out narrows to keep `workers`
+// the cap on total goroutines.
 func ClusterSweep(base cluster.Config, rates []float64, label string, workers int) (cluster.Curve, error) {
 	points, err := runPoints(len(rates), BudgetWorkers(workers, RunCost(base)), func(i int) (cluster.Point, error) {
 		rate := rates[i]
@@ -52,6 +53,9 @@ func ClusterSweep(base cluster.Config, rates []float64, label string, workers in
 		cfg.RateMRPS = rate
 		cfg.Seed = base.Seed + uint64(i)*1_000_003
 		cfg.Policy = base.Policy.Clone()
+		if base.GlobalPolicy != nil {
+			cfg.GlobalPolicy = base.GlobalPolicy.Clone()
+		}
 		if cfg.MaxSimTime == 0 {
 			est := ClusterCapacityMRPS(cfg)
 			if rate < est {

@@ -713,8 +713,9 @@ func assemble(cfg Config, shape Shape, bound int, em Emulation, scale, spinsNs f
 	liveSpan := func(r wrec) trace.Span {
 		arriveNs := r.atNs - r.latNs
 		return trace.Span{
-			ReqID: r.seq, Node: 0, Core: r.worker,
-			DepthAtArrival: -1, DepthAtForward: -1,
+			ReqID: r.seq, Node: 0, Core: r.worker, Rack: -1,
+			DepthAtArrival: -1, DepthAtForward: -1, DepthAtGlobalForward: -1,
+			GlobalRecv: trace.Unset, GlobalForward: trace.Unset,
 			BalancerRecv: trace.Unset, Forward: trace.Unset, Dispatch: trace.Unset,
 			Arrive:   at(arriveNs),
 			Start:    at(arriveNs + r.waitNs),

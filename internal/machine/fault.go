@@ -22,6 +22,11 @@ func (p Pause) String() string {
 	return fmt.Sprintf("pause@%gus+%gus", p.Start.Micros(), p.Dur.Micros())
 }
 
+// PauseStall returns how long work beginning at time t must stall to clear
+// every pause window containing t — the shared semantics for paused cores
+// here and paused rack balancers in internal/cluster.
+func PauseStall(pauses []Pause, t sim.Time) sim.Duration { return pauseStall(pauses, t) }
+
 // pauseStall returns how long work beginning at time t must stall to clear
 // every pause window containing t.
 func pauseStall(pauses []Pause, t sim.Time) sim.Duration {

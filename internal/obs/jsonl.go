@@ -12,21 +12,26 @@ import (
 // nanoseconds, -1 marking legs the span never observed. Field names are
 // stable — offline tooling keys on them.
 type spanJSON struct {
-	Req            uint64  `json:"req"`
-	Node           int     `json:"node"`
-	Core           int     `json:"core"`
-	DepthAtArrival int     `json:"depth_at_arrival"`
-	DepthAtForward int     `json:"depth_at_forward"`
-	BalancerRecvNs float64 `json:"balancer_recv_ns"`
-	ForwardNs      float64 `json:"forward_ns"`
-	ArriveNs       float64 `json:"arrive_ns"`
-	DispatchNs     float64 `json:"dispatch_ns"`
-	StartNs        float64 `json:"start_ns"`
-	CompleteNs     float64 `json:"complete_ns"`
-	HopNs          float64 `json:"hop_ns"`
-	WaitNs         float64 `json:"wait_ns"`
-	ServiceNs      float64 `json:"service_ns"`
-	TotalNs        float64 `json:"total_ns"`
+	Req             uint64  `json:"req"`
+	Rack            int     `json:"rack"`
+	Node            int     `json:"node"`
+	Core            int     `json:"core"`
+	DepthAtArrival  int     `json:"depth_at_arrival"`
+	DepthAtForward  int     `json:"depth_at_forward"`
+	DepthAtGForward int     `json:"depth_at_global_forward"`
+	GlobalRecvNs    float64 `json:"global_recv_ns"`
+	GlobalForwardNs float64 `json:"global_forward_ns"`
+	BalancerRecvNs  float64 `json:"balancer_recv_ns"`
+	ForwardNs       float64 `json:"forward_ns"`
+	ArriveNs        float64 `json:"arrive_ns"`
+	DispatchNs      float64 `json:"dispatch_ns"`
+	StartNs         float64 `json:"start_ns"`
+	CompleteNs      float64 `json:"complete_ns"`
+	GlobalHopNs     float64 `json:"global_hop_ns"`
+	HopNs           float64 `json:"hop_ns"`
+	WaitNs          float64 `json:"wait_ns"`
+	ServiceNs       float64 `json:"service_ns"`
+	TotalNs         float64 `json:"total_ns"`
 }
 
 // tsNs renders one span timestamp: nanoseconds since virtual time zero, or
@@ -44,21 +49,26 @@ func WriteSpansJSONL(w io.Writer, spans []trace.Span) error {
 	enc := json.NewEncoder(w)
 	for _, s := range spans {
 		j := spanJSON{
-			Req:            s.ReqID,
-			Node:           s.Node,
-			Core:           s.Core,
-			DepthAtArrival: s.DepthAtArrival,
-			DepthAtForward: s.DepthAtForward,
-			BalancerRecvNs: tsNs(s.BalancerRecv),
-			ForwardNs:      tsNs(s.Forward),
-			ArriveNs:       tsNs(s.Arrive),
-			DispatchNs:     tsNs(s.Dispatch),
-			StartNs:        tsNs(s.Start),
-			CompleteNs:     tsNs(s.Complete),
-			HopNs:          s.HopNs(),
-			WaitNs:         s.QueueWaitNs(),
-			ServiceNs:      s.ServiceNs(),
-			TotalNs:        s.TotalNs(),
+			Req:             s.ReqID,
+			Rack:            s.Rack,
+			Node:            s.Node,
+			Core:            s.Core,
+			DepthAtArrival:  s.DepthAtArrival,
+			DepthAtForward:  s.DepthAtForward,
+			DepthAtGForward: s.DepthAtGlobalForward,
+			GlobalRecvNs:    tsNs(s.GlobalRecv),
+			GlobalForwardNs: tsNs(s.GlobalForward),
+			BalancerRecvNs:  tsNs(s.BalancerRecv),
+			ForwardNs:       tsNs(s.Forward),
+			ArriveNs:        tsNs(s.Arrive),
+			DispatchNs:      tsNs(s.Dispatch),
+			StartNs:         tsNs(s.Start),
+			CompleteNs:      tsNs(s.Complete),
+			GlobalHopNs:     s.GlobalHopNs(),
+			HopNs:           s.HopNs(),
+			WaitNs:          s.QueueWaitNs(),
+			ServiceNs:       s.ServiceNs(),
+			TotalNs:         s.TotalNs(),
 		}
 		if err := enc.Encode(j); err != nil {
 			return err

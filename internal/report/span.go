@@ -9,11 +9,23 @@ import (
 // SpanTable renders a tail-sample set — the K slowest requests with their
 // span breakdowns — as a report table: one row per request, the latency
 // decomposed into hop / queue-wait / service legs plus the wait share and
-// the congestion the request arrived into. Unobserved attributions render
-// as "-".
+// the congestion the request arrived into. Spans from a two-tier run (any
+// span with a global-recv milestone) grow rack and global-hop columns; flat
+// and single-machine tables keep the historical shape. Unobserved
+// attributions render as "-".
 func SpanTable(title string, spans []trace.Span) *Table {
-	t := NewTable(title,
-		"req", "node", "core", "depth", "total_ns", "hop_ns", "wait_ns", "service_ns", "wait_share")
+	hier := false
+	for _, s := range spans {
+		if s.GlobalRecv != trace.Unset {
+			hier = true
+			break
+		}
+	}
+	cols := []string{"req", "node", "core", "depth", "total_ns", "hop_ns", "wait_ns", "service_ns", "wait_share"}
+	if hier {
+		cols = []string{"req", "rack", "node", "core", "depth", "total_ns", "ghop_ns", "hop_ns", "wait_ns", "service_ns", "wait_share"}
+	}
+	t := NewTable(title, cols...)
 	dash := func(v int) string {
 		if v < 0 {
 			return "-"
@@ -21,17 +33,26 @@ func SpanTable(title string, spans []trace.Span) *Table {
 		return fmt.Sprint(v)
 	}
 	for _, s := range spans {
-		t.AddRow(
-			fmt.Sprint(s.ReqID),
+		row := []string{fmt.Sprint(s.ReqID)}
+		if hier {
+			row = append(row, dash(s.Rack))
+		}
+		row = append(row,
 			dash(s.Node),
 			dash(s.Core),
 			dash(s.DepthAtArrival),
 			fmt.Sprintf("%.0f", s.TotalNs()),
+		)
+		if hier {
+			row = append(row, fmt.Sprintf("%.0f", s.GlobalHopNs()))
+		}
+		row = append(row,
 			fmt.Sprintf("%.0f", s.HopNs()),
 			fmt.Sprintf("%.0f", s.QueueWaitNs()),
 			fmt.Sprintf("%.0f", s.ServiceNs()),
 			fmt.Sprintf("%.3f", s.WaitShare()),
 		)
+		t.AddRow(row...)
 	}
 	return t
 }

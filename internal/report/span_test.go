@@ -11,7 +11,8 @@ import (
 func TestSpanTable(t *testing.T) {
 	spans := []trace.Span{
 		{
-			ReqID: 7, Node: 2, Core: 5, DepthAtArrival: 3, DepthAtForward: 1,
+			ReqID: 7, Node: 2, Core: 5, Rack: -1, DepthAtArrival: 3, DepthAtForward: 1,
+			GlobalRecv: trace.Unset, GlobalForward: trace.Unset,
 			BalancerRecv: sim.Time(0), Forward: sim.Time(100 * sim.Nanosecond),
 			Arrive:   sim.Time(600 * sim.Nanosecond),
 			Dispatch: sim.Time(650 * sim.Nanosecond),
@@ -19,7 +20,8 @@ func TestSpanTable(t *testing.T) {
 			Complete: sim.Time(1400 * sim.Nanosecond),
 		},
 		{
-			ReqID: 9, Node: -1, Core: -1, DepthAtArrival: -1, DepthAtForward: -1,
+			ReqID: 9, Node: -1, Core: -1, Rack: -1, DepthAtArrival: -1, DepthAtForward: -1,
+			GlobalRecv: trace.Unset, GlobalForward: trace.Unset,
 			BalancerRecv: trace.Unset, Forward: trace.Unset, Dispatch: trace.Unset,
 			Arrive: sim.Time(0), Start: sim.Time(10 * sim.Nanosecond), Complete: sim.Time(40 * sim.Nanosecond),
 		},
@@ -48,6 +50,50 @@ func TestSpanTable(t *testing.T) {
 	for _, col := range []int{1, 2, 3} { // node, core, depth
 		if row[col] != "-" {
 			t.Fatalf("untracked column %d = %q, want -", col, row[col])
+		}
+	}
+	// Flat spans keep the historical column set — no hierarchy columns.
+	for _, c := range tbl.Columns {
+		if c == "rack" || c == "ghop_ns" {
+			t.Fatalf("flat span table grew hierarchy column %q", c)
+		}
+	}
+}
+
+func TestSpanTableHier(t *testing.T) {
+	spans := []trace.Span{{
+		ReqID: 4, Node: 11, Core: 1, Rack: 2, DepthAtArrival: 0, DepthAtForward: 1,
+		DepthAtGlobalForward: 6,
+		GlobalRecv:           sim.Time(0),
+		GlobalForward:        sim.Time(0),
+		BalancerRecv:         sim.Time(500 * sim.Nanosecond),
+		Forward:              sim.Time(500 * sim.Nanosecond),
+		Arrive:               sim.Time(1000 * sim.Nanosecond),
+		Dispatch:             sim.Time(1050 * sim.Nanosecond),
+		Start:                sim.Time(1100 * sim.Nanosecond),
+		Complete:             sim.Time(2100 * sim.Nanosecond),
+	}}
+	tbl := SpanTable("tail", spans)
+	var haveRack, haveGhop bool
+	for _, c := range tbl.Columns {
+		haveRack = haveRack || c == "rack"
+		haveGhop = haveGhop || c == "ghop_ns"
+	}
+	if !haveRack || !haveGhop {
+		t.Fatalf("hier span table missing rack/ghop columns: %v", tbl.Columns)
+	}
+	row := tbl.Rows[0]
+	if row[1] != "2" {
+		t.Fatalf("rack column = %q, want 2", row[1])
+	}
+	var b strings.Builder
+	if err := tbl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	// ghop 500ns (global-forward → balancer-recv), total 2100ns.
+	for _, want := range []string{"ghop_ns", "500", "2100"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("hier span table missing %q:\n%s", want, b.String())
 		}
 	}
 }

@@ -26,6 +26,9 @@ type Span struct {
 	ReqID uint64
 	Node  int // serving node (0 for single-machine runs, -1 unknown)
 	Core  int // serving core/worker (-1 unknown)
+	// Rack is the rack the global tier routed the request to (-1 for flat
+	// and single-machine runs).
+	Rack int
 	// DepthAtArrival is the number of other requests outstanding at the
 	// serving node when this one arrived (-1 untracked) — the congestion
 	// the request walked into.
@@ -33,20 +36,26 @@ type Span struct {
 	// DepthAtForward is the balancer's queue-depth view of the chosen node
 	// at forward time (-1 for single-machine runs).
 	DepthAtForward int
+	// DepthAtGlobalForward is the global tier's aggregate-depth view of the
+	// chosen rack at global-forward time (-1 off-hierarchy).
+	DepthAtGlobalForward int
 
-	BalancerRecv sim.Time // cluster balancer ingress (Unset off-cluster)
-	Forward      sim.Time // balancer picked the node (Unset off-cluster)
-	Arrive       sim.Time // message fully received at the node's NI
-	Dispatch     sim.Time // NI dispatcher assigned a core
-	Start        sim.Time // core began the handler
-	Complete     sim.Time // replenish posted (latency clock stops)
+	GlobalRecv    sim.Time // global balancer ingress (Unset off-hierarchy)
+	GlobalForward sim.Time // global balancer picked the rack (Unset off-hierarchy)
+	BalancerRecv  sim.Time // cluster/rack balancer ingress (Unset off-cluster)
+	Forward       sim.Time // balancer picked the node (Unset off-cluster)
+	Arrive        sim.Time // message fully received at the node's NI
+	Dispatch      sim.Time // NI dispatcher assigned a core
+	Start         sim.Time // core began the handler
+	Complete      sim.Time // replenish posted (latency clock stops)
 }
 
 // newSpan returns a span with every field at its "unobserved" sentinel.
 func newSpan(id uint64) Span {
 	return Span{
-		ReqID: id, Node: -1, Core: -1,
-		DepthAtArrival: -1, DepthAtForward: -1,
+		ReqID: id, Node: -1, Core: -1, Rack: -1,
+		DepthAtArrival: -1, DepthAtForward: -1, DepthAtGlobalForward: -1,
+		GlobalRecv: Unset, GlobalForward: Unset,
 		BalancerRecv: Unset, Forward: Unset, Arrive: Unset,
 		Dispatch: Unset, Start: Unset, Complete: Unset,
 	}
@@ -55,6 +64,13 @@ func newSpan(id uint64) Span {
 // observe folds one event into the span.
 func (s *Span) observe(e Event) {
 	switch e.Phase {
+	case PhaseGlobalRecv:
+		s.GlobalRecv = e.At
+	case PhaseGlobalForward:
+		s.GlobalForward = e.At
+		s.Rack = e.Node
+		s.DepthAtGlobalForward = e.Depth
+		return // Node carries the rack index here, not a serving core's node
 	case PhaseBalancerRecv:
 		s.BalancerRecv = e.At
 	case PhaseForward:
@@ -89,9 +105,13 @@ func spanGap(a, b sim.Time) float64 {
 	return b.Sub(a).Nanos()
 }
 
-// Begin is the span's measurement origin: balancer ingress for cluster
+// Begin is the span's measurement origin: global-balancer ingress for
+// two-tier requests, rack/cluster balancer ingress for flat cluster
 // requests, NI arrival otherwise.
 func (s Span) Begin() sim.Time {
+	if s.GlobalRecv != Unset {
+		return s.GlobalRecv
+	}
 	if s.BalancerRecv != Unset {
 		return s.BalancerRecv
 	}
@@ -100,6 +120,11 @@ func (s Span) Begin() sim.Time {
 
 // TotalNs is the end-to-end latency: Begin → Complete.
 func (s Span) TotalNs() float64 { return spanGap(s.Begin(), s.Complete) }
+
+// GlobalHopNs is the global→rack leg (global forward decision through rack
+// balancer ingress), 0 off-hierarchy. It includes any time the request spent
+// waiting at a stalled rack balancer — a paused rack balancer shows up here.
+func (s Span) GlobalHopNs() float64 { return spanGap(s.GlobalForward, s.BalancerRecv) }
 
 // HopNs is the balancer→NI leg (forward decision through full reception at
 // the node), 0 for single-machine runs.

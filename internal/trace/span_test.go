@@ -85,14 +85,15 @@ func TestSpanUnsetFields(t *testing.T) {
 }
 
 func TestPhaseRankCausalOrder(t *testing.T) {
-	order := []Phase{PhaseBalancerRecv, PhaseForward, PhaseArrive, PhaseDispatch, PhaseStart, PhaseComplete}
+	order := []Phase{PhaseGlobalRecv, PhaseGlobalForward, PhaseBalancerRecv, PhaseForward,
+		PhaseArrive, PhaseDispatch, PhaseStart, PhaseComplete}
 	for i := 1; i < len(order); i++ {
 		if order[i-1].Rank() >= order[i].Rank() {
 			t.Fatalf("%v rank %d not before %v rank %d",
 				order[i-1], order[i-1].Rank(), order[i], order[i].Rank())
 		}
 	}
-	if Phase(9).Rank() <= PhaseComplete.Rank() {
+	if Phase(42).Rank() <= PhaseComplete.Rank() {
 		t.Fatal("unknown phase must rank last")
 	}
 }
@@ -100,6 +101,49 @@ func TestPhaseRankCausalOrder(t *testing.T) {
 func TestNewPhaseStrings(t *testing.T) {
 	if PhaseBalancerRecv.String() != "balancer-recv" || PhaseForward.String() != "forward" {
 		t.Fatalf("hop phase strings: %q %q", PhaseBalancerRecv, PhaseForward)
+	}
+	if PhaseGlobalRecv.String() != "global-recv" || PhaseGlobalForward.String() != "global-forward" {
+		t.Fatalf("global phase strings: %q %q", PhaseGlobalRecv, PhaseGlobalForward)
+	}
+}
+
+func TestSpanGlobalHops(t *testing.T) {
+	evs := []Event{
+		{ReqID: 3, Phase: PhaseGlobalRecv, At: sim.Time(5), Core: -1, Node: -1, Depth: 9},
+		{ReqID: 3, Phase: PhaseGlobalForward, At: sim.Time(5), Core: -1, Node: 1, Depth: 6},
+		{ReqID: 3, Phase: PhaseBalancerRecv, At: sim.Time(30), Core: -1, Node: -1, Depth: 4},
+		{ReqID: 3, Phase: PhaseForward, At: sim.Time(30), Core: -1, Node: 7, Depth: 1},
+		{ReqID: 3, Phase: PhaseArrive, At: sim.Time(55), Core: -1, Node: 7, Depth: 0},
+		{ReqID: 3, Phase: PhaseDispatch, At: sim.Time(60), Core: 2, Node: 7, Depth: -1},
+		{ReqID: 3, Phase: PhaseStart, At: sim.Time(70), Core: 2, Node: 7, Depth: -1},
+		{ReqID: 3, Phase: PhaseComplete, At: sim.Time(170), Core: 2, Node: 7, Depth: -1},
+	}
+	s := Spans(evs)[0]
+	if s.Rack != 1 || s.Node != 7 || s.DepthAtGlobalForward != 6 {
+		t.Fatalf("global attribution wrong: %+v", s)
+	}
+	if s.Begin() != sim.Time(5) {
+		t.Fatalf("begin = %v, want global recv", s.Begin())
+	}
+	if s.TotalNs() != sim.Time(170).Sub(sim.Time(5)).Nanos() {
+		t.Fatalf("total = %v", s.TotalNs())
+	}
+	if s.GlobalHopNs() != sim.Time(30).Sub(sim.Time(5)).Nanos() {
+		t.Fatalf("global hop = %v", s.GlobalHopNs())
+	}
+	if s.HopNs() != sim.Time(55).Sub(sim.Time(30)).Nanos() {
+		t.Fatalf("rack hop = %v", s.HopNs())
+	}
+	// The legs telescope: global hop + rack hop + wait + service spans the
+	// whole latency (forward decisions are instantaneous in both tiers).
+	sum := s.GlobalHopNs() + s.HopNs() + s.QueueWaitNs() + s.ServiceNs()
+	if sum != s.TotalNs() {
+		t.Fatalf("legs %v do not telescope to total %v", sum, s.TotalNs())
+	}
+	// A flat-cluster span must keep its off-hierarchy sentinels.
+	flat := Spans(evs[2:])[0]
+	if flat.Rack != -1 || flat.GlobalRecv != Unset || flat.GlobalHopNs() != 0 {
+		t.Fatalf("flat span leaked hierarchy fields: %+v", flat)
 	}
 }
 

@@ -42,11 +42,26 @@ const (
 // their historical encoding; use Rank for causal comparisons.
 const (
 	// PhaseBalancerRecv: the cluster balancer accepted the request — the
-	// end-to-end latency clock of a cluster run starts here.
+	// end-to-end latency clock of a cluster run starts here. In a two-tier
+	// topology this is the *rack* balancer's ingress.
 	PhaseBalancerRecv Phase = iota + 4
 	// PhaseForward: the balancer picked a node and forwarded the request
 	// onto the balancer→node hop.
 	PhaseForward
+)
+
+// Global-tier milestones (two-tier topologies, Config.Racks > 0). They
+// precede PhaseBalancerRecv causally; like the cluster-hop phases they carry
+// fresh constant values so every earlier encoding is untouched.
+const (
+	// PhaseGlobalRecv: the global (datacenter) balancer accepted the
+	// request — the end-to-end latency clock of a hierarchical run starts
+	// here.
+	PhaseGlobalRecv Phase = iota + 6
+	// PhaseGlobalForward: the global balancer picked a rack and forwarded
+	// the request onto the global→rack hop. Event.Node carries the rack
+	// index, Event.Depth the global tier's view of that rack.
+	PhaseGlobalForward
 )
 
 func (p Phase) String() string {
@@ -63,29 +78,37 @@ func (p Phase) String() string {
 		return "balancer-recv"
 	case PhaseForward:
 		return "forward"
+	case PhaseGlobalRecv:
+		return "global-recv"
+	case PhaseGlobalForward:
+		return "global-forward"
 	default:
 		return fmt.Sprintf("phase(%d)", uint8(p))
 	}
 }
 
-// Rank orders phases causally: balancer-recv < forward < arrive < dispatch <
-// start < complete. Unknown phases rank last.
+// Rank orders phases causally: global-recv < global-forward < balancer-recv <
+// forward < arrive < dispatch < start < complete. Unknown phases rank last.
 func (p Phase) Rank() int {
 	switch p {
-	case PhaseBalancerRecv:
+	case PhaseGlobalRecv:
 		return 0
-	case PhaseForward:
+	case PhaseGlobalForward:
 		return 1
-	case PhaseArrive:
+	case PhaseBalancerRecv:
 		return 2
-	case PhaseDispatch:
+	case PhaseForward:
 		return 3
-	case PhaseStart:
+	case PhaseArrive:
 		return 4
-	case PhaseComplete:
+	case PhaseDispatch:
 		return 5
-	default:
+	case PhaseStart:
 		return 6
+	case PhaseComplete:
+		return 7
+	default:
+		return 8
 	}
 }
 

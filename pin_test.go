@@ -132,6 +132,53 @@ func TestPinnedClusterResult(t *testing.T) {
 	pin(t, "shards=1 imbalance", res.Imbalance, "1.0018750000000001")
 }
 
+// TestPinnedHierClusterResult: the degenerate two-tier topology — one rack
+// holding every node, zero-latency global hop — must reproduce the flat
+// cluster pins byte-for-byte, with and without an explicit global policy.
+// This is the hierarchical refactor's flat-equivalence contract: stacking
+// the dispatch tier adds no observable events when the topology collapses.
+func TestPinnedHierClusterResult(t *testing.T) {
+	base := func() rpcvalet.Cluster {
+		pol, err := rpcvalet.ClusterPolicyByName("jsq2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := rpcvalet.Synthetic("exp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := rpcvalet.DefaultCluster(2, wl, pol)
+		cfg.Warmup = 200
+		cfg.Measure = 3000
+		cfg.Seed = 1
+		cfg.Racks = 1
+		cfg.GlobalHop = 0
+		return cfg
+	}
+
+	check := func(label string, cfg rpcvalet.Cluster) {
+		res, err := rpcvalet.RunCluster(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pin(t, label+" p50", res.Latency.P50, "1246.367")
+		pin(t, label+" p99", res.Latency.P99, "2532.9679999999998")
+		pin(t, label+" mean", res.Latency.Mean, "1345.7348943333366")
+		pin(t, label+" throughput", res.ThroughputMRPS, "27.184915274526762")
+		pin(t, label+" imbalance", res.Imbalance, "1.0018750000000001")
+	}
+
+	check("racks=1", base())
+
+	cfg := base()
+	gpol, err := rpcvalet.ClusterPolicyByName("random")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GlobalPolicy = gpol
+	check("racks=1 global=random", cfg)
+}
+
 func TestPinnedQueueModelResult(t *testing.T) {
 	wl, err := rpcvalet.Synthetic("exp")
 	if err != nil {

@@ -323,7 +323,9 @@ func ParseFault(spec string) (Fault, error) { return machine.ParseFault(spec) }
 type NodeFault = cluster.NodeFault
 
 // ParseNodeFaults parses the cluster -degrade grammar: semicolon-separated
-// "NODE:FAULT" entries, e.g. "0:x1.5;3:pause@500us+100us".
+// "SCOPE:FAULT" entries where a scope is a node index or "rackR" for a whole
+// rack (hierarchical runs), e.g. "0:x1.5;3:pause@500us+100us" or
+// "rack0:pause@1ms+500us".
 func ParseNodeFaults(spec string) ([]NodeFault, error) { return cluster.ParseFaults(spec) }
 
 // Curve is a measured latency-throughput series for one configuration.
@@ -359,7 +361,11 @@ func RateGrid(capacity, lo, hi float64, n int) []float64 {
 // aggregate Poisson arrival stream node by node, charging each RPC a network
 // hop. Set Shards > 1 to run the node set on parallel per-shard engines
 // synchronized conservatively at the hop (see "Sharded simulation" above).
-// See DefaultCluster for a ready-made starting point.
+// Set Racks >= 1 (with GlobalPolicy and GlobalHop) to stack a second
+// dispatch tier: a global balancer routing over per-rack balancers by rack
+// aggregate queue depth — the two-tier datacenter topology. One rack with a
+// zero global hop reproduces the flat cluster byte-for-byte. See
+// DefaultCluster for a ready-made starting point.
 type Cluster = cluster.Config
 
 // ClusterResult is the measured outcome of one cluster run.
